@@ -1,0 +1,98 @@
+// Reproduces the Section III-E time-complexity analysis with
+// google-benchmark: inference stage costs as functions of the test length N
+// and the window length L. The paper's claim: total inference is dominated
+// by the window length, not by N.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/detector.h"
+#include "data/ucr_generator.h"
+
+namespace triad::bench {
+namespace {
+
+// One fitted detector per period, reused across benchmark iterations.
+struct Fitted {
+  data::UcrDataset ds;
+  std::unique_ptr<core::TriadDetector> detector;
+};
+
+Fitted MakeFitted(int64_t period, int64_t test_periods) {
+  data::UcrGeneratorOptions gen;
+  gen.count = 1;
+  gen.seed = 7;
+  gen.min_period = period;
+  gen.max_period = period;
+  gen.min_test_periods = test_periods;
+  gen.max_test_periods = test_periods;
+  Fitted f;
+  f.ds = data::MakeUcrArchive(gen)[0];
+  const BenchConfig config = LoadBenchConfig();
+  f.detector = std::make_unique<core::TriadDetector>(
+      MakeTriadConfig(config, 1000));
+  TRIAD_CHECK(f.detector->Fit(f.ds.train).ok());
+  return f;
+}
+
+// Full inference versus test length N (fixed window length).
+void BM_DetectVsTestLength(benchmark::State& state) {
+  static Fitted f = MakeFitted(/*period=*/48, /*test_periods=*/10);
+  // Tile the test series to the requested length.
+  const int64_t n = state.range(0);
+  std::vector<double> test;
+  while (static_cast<int64_t>(test.size()) < n) {
+    test.insert(test.end(), f.ds.test.begin(), f.ds.test.end());
+  }
+  test.resize(static_cast<size_t>(n));
+  for (auto _ : state) {
+    auto result = f.detector->Detect(test);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DetectVsTestLength)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Complexity(benchmark::oN);
+
+// Full inference versus window length L (driven by the period).
+void BM_DetectVsWindowLength(benchmark::State& state) {
+  const int64_t period = state.range(0);
+  Fitted f = MakeFitted(period, /*test_periods=*/10);
+  for (auto _ : state) {
+    auto result = f.detector->Detect(f.ds.test);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["window_length"] =
+      static_cast<double>(f.detector->window_length());
+}
+BENCHMARK(BM_DetectVsWindowLength)->Arg(32)->Arg(48)->Arg(64)->Arg(96);
+
+// Stage share: where inference time goes (encode / tri-window / selection /
+// discord), reported as counters.
+void BM_StageBreakdown(benchmark::State& state) {
+  static Fitted f = MakeFitted(/*period=*/64, /*test_periods=*/12);
+  double encode = 0, tri = 0, sel = 0, merlin = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    auto result = f.detector->Detect(f.ds.test);
+    TRIAD_CHECK(result.ok());
+    encode += result->encode_seconds;
+    tri += result->tri_window_seconds;
+    sel += result->selection_seconds;
+    merlin += result->discord_seconds;
+    ++iters;
+  }
+  state.counters["encode_s"] = encode / static_cast<double>(iters);
+  state.counters["triwindow_s"] = tri / static_cast<double>(iters);
+  state.counters["selection_s"] = sel / static_cast<double>(iters);
+  state.counters["discord_s"] = merlin / static_cast<double>(iters);
+}
+BENCHMARK(BM_StageBreakdown);
+
+}  // namespace
+}  // namespace triad::bench
+
+BENCHMARK_MAIN();

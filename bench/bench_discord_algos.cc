@@ -1,0 +1,114 @@
+// Design-choice ablations for the discord substrate (DESIGN.md §4):
+// MASS (FFT) versus naive distance profiles, and DRAG phase-2 linear scan
+// versus the Orchard-ordered scan that powers MERLIN++.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "discord/discord.h"
+#include "discord/mass.h"
+#include "discord/stomp.h"
+
+namespace triad::discord {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<double> Workload(size_t n, uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * kPi * static_cast<double>(t) / 50.0) +
+           rng.Normal(0.0, 0.05);
+  }
+  // Planted anomaly in the middle.
+  for (size_t t = n / 2; t < n / 2 + 50 && t < n; ++t) {
+    x[t] = std::sin(4.0 * kPi * static_cast<double>(t) / 50.0) +
+           rng.Normal(0.0, 0.05);
+  }
+  return x;
+}
+
+void BM_MassDistanceProfile(benchmark::State& state) {
+  const std::vector<double> x = Workload(static_cast<size_t>(state.range(0)));
+  const std::vector<double> query(x.begin(), x.begin() + 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MassDistanceProfile(x, query));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MassDistanceProfile)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_NaiveDistanceProfile(benchmark::State& state) {
+  const std::vector<double> x = Workload(static_cast<size_t>(state.range(0)));
+  const int64_t m = 100;
+  const RollingStats stats = ComputeRollingStats(x, m);
+  for (auto _ : state) {
+    std::vector<double> profile;
+    const int64_t count = static_cast<int64_t>(x.size()) - m + 1;
+    profile.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      profile.push_back(ZNormDistanceEarlyAbandon(
+          x.data(), stats.mean[0], stats.stddev[0], x.data() + i,
+          stats.mean[static_cast<size_t>(i)],
+          stats.stddev[static_cast<size_t>(i)], m, 1e18));
+    }
+    benchmark::DoNotOptimize(profile);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NaiveDistanceProfile)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_BruteForceDiscord(benchmark::State& state) {
+  const std::vector<double> x = Workload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceDiscord(x, 50));
+  }
+}
+BENCHMARK(BM_BruteForceDiscord)->Arg(1000)->Arg(2000);
+
+void BM_StompMatrixProfile(benchmark::State& state) {
+  const std::vector<double> x = Workload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Stomp(x, 50));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StompMatrixProfile)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Merlin(benchmark::State& state) {
+  const std::vector<double> x = Workload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Merlin(x, 40, 60, 5));
+  }
+}
+BENCHMARK(BM_Merlin)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_MerlinPlusPlus(benchmark::State& state) {
+  const std::vector<double> x = Workload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerlinPlusPlus(x, 40, 60, 5));
+  }
+}
+BENCHMARK(BM_MerlinPlusPlus)->Arg(1000)->Arg(2000)->Arg(4000);
+
+// The TriAD regime: discord search restricted to a ~3-window region.
+void BM_MerlinRestrictedRegion(benchmark::State& state) {
+  const std::vector<double> x = Workload(8000);
+  const std::vector<double> region(x.begin() + 3800, x.begin() + 4300);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Merlin(region, 10, 120, 2));
+  }
+}
+BENCHMARK(BM_MerlinRestrictedRegion);
+
+}  // namespace
+}  // namespace triad::discord
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Reproduces the paper's Section IV-E case study (Figs. 10-13) on a UCR
+// "025"-style dataset: a subtle contextual anomaly (missing secondary peak).
+// Prints each inference stage's artifacts: per-domain window similarities
+// (Fig. 11), the MERLIN discord spread (Fig. 12), and the voting-threshold
+// sweep (Fig. 13).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/features.h"
+#include "eval/metrics.h"
+
+namespace triad::bench {
+namespace {
+
+void RunBench() {
+  BenchConfig config = LoadBenchConfig();
+  PrintBenchHeader("Figs. 10-13 — case study on UCR '025'-style data",
+                   config);
+  const data::UcrDataset ds = data::MakeCaseStudy025(config.archive_seed);
+  std::printf(
+      "Fig. 10 — dataset: %zu test points, anomaly [%lld, %lld) (%lld "
+      "points), type %s, period %lld\n",
+      ds.test.size(), static_cast<long long>(ds.anomaly_begin),
+      static_cast<long long>(ds.anomaly_end),
+      static_cast<long long>(ds.anomaly_length()),
+      data::AnomalyTypeToString(ds.anomaly_type),
+      static_cast<long long>(ds.period));
+
+  core::TriadConfig triad = MakeTriadConfig(config, 1000);
+  const core::DetectionResult r = RunTriad(triad, ds);
+
+  std::printf("\nFig. 11 — per-domain mean pairwise window similarity "
+              "(%zu windows of %lld points):\n",
+              r.window_starts.size(),
+              static_cast<long long>(r.window_length));
+  const char* domain_names[] = {"temporal", "frequency", "residual"};
+  for (size_t d = 0; d < r.domain_similarity.size(); ++d) {
+    const auto& sim = r.domain_similarity[d];
+    const int64_t lowest = ArgMin(sim);
+    std::printf("  %-9s lowest-similarity window %lld (start %lld)%s\n",
+                domain_names[d], static_cast<long long>(lowest),
+                static_cast<long long>(
+                    r.window_starts[static_cast<size_t>(lowest)]),
+                WindowHitsAnomaly(
+                    r.window_starts[static_cast<size_t>(lowest)],
+                    r.window_length, ds)
+                    ? "  <-- contains the anomaly"
+                    : "");
+  }
+  std::printf("  selected window: %lld (start %lld)%s\n",
+              static_cast<long long>(r.selected_window),
+              static_cast<long long>(
+                  r.window_starts[static_cast<size_t>(r.selected_window)]),
+              WindowHitsAnomaly(
+                  r.window_starts[static_cast<size_t>(r.selected_window)],
+                  r.window_length, ds)
+                  ? "  <-- contains the anomaly"
+                  : "");
+
+  std::printf("\nFig. 12 — MERLIN discords in padded region [%lld, %lld):\n",
+              static_cast<long long>(r.search_begin),
+              static_cast<long long>(r.search_end));
+  int64_t inside = 0;
+  for (const auto& d : r.discords) {
+    if (core::WindowOverlapsRange(d.position, d.length, ds.anomaly_begin,
+                                  ds.anomaly_end)) {
+      ++inside;
+    }
+  }
+  std::printf("  %zu discord lengths searched; %lld/%zu overlap the true "
+              "anomaly\n",
+              r.discords.size(), static_cast<long long>(inside),
+              r.discords.size());
+  for (size_t i = 0; i < r.discords.size(); i += std::max<size_t>(1,
+                                                   r.discords.size() / 8)) {
+    const auto& d = r.discords[i];
+    std::printf("    length %4lld -> position %5lld (distance %.2f)\n",
+                static_cast<long long>(d.length),
+                static_cast<long long>(d.position), d.distance);
+  }
+
+  std::printf("\nFig. 13 — detection under different vote thresholds:\n");
+  std::vector<double> nonzero;
+  for (double v : r.votes) {
+    if (v > 0) nonzero.push_back(v);
+  }
+  const std::vector<int> labels = ds.TestLabels();
+  TablePrinter table({"threshold", "value", "precision", "recall", "F1"});
+  auto eval_at = [&](const char* name, double threshold) {
+    std::vector<int> pred(r.votes.size(), 0);
+    for (size_t i = 0; i < r.votes.size(); ++i) {
+      pred[i] = r.votes[i] > threshold ? 1 : 0;
+    }
+    const eval::Confusion c = eval::ComputeConfusion(pred, labels);
+    table.AddRow({name, TablePrinter::Num(threshold, 2),
+                  TablePrinter::Num(c.Precision()),
+                  TablePrinter::Num(c.Recall()), TablePrinter::Num(c.F1())});
+  };
+  eval_at("mean (default)", Mean(nonzero));
+  eval_at("p50", Quantile(nonzero, 0.5));
+  eval_at("p75", Quantile(nonzero, 0.75));
+  eval_at("p90", Quantile(nonzero, 0.90));
+  eval_at("p95", Quantile(nonzero, 0.95));
+  table.Print();
+  PrintPaperReference(
+      "Figs. 10-13 — on UCR 025 the frequency/residual domains flag the "
+      "anomalous window (index 39 of 67), discord hits concentrate on the "
+      "anomaly, and raising the vote threshold past the 90th percentile "
+      "sharpens precision. Shape to match: same staging; precision "
+      "non-decreasing in the threshold.");
+}
+
+}  // namespace
+}  // namespace triad::bench
+
+int main() { triad::bench::RunBench(); }

@@ -1,0 +1,74 @@
+// Reproduces paper Fig. 14: MTGFlow (TriAD's strongest affiliation
+// competitor) misclassifies normal patterns as anomalies on subtle datasets,
+// spraying false positives where TriAD stays focused.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/mtgflow.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "eval/metrics.h"
+
+namespace triad::bench {
+namespace {
+
+void RunBench() {
+  BenchConfig config = LoadBenchConfig();
+  config.datasets = std::min<int64_t>(config.datasets, 8);
+  config.severity = 0.3;  // subtle anomalies, the Fig. 14 regime
+  PrintBenchHeader("Fig. 14 — MTGFlow false positives on subtle anomalies",
+                   config);
+  const std::vector<data::UcrDataset> archive = MakeBenchArchive(config);
+
+  TablePrinter table({"Dataset", "model", "flagged points", "false positives",
+                      "FP rate"});
+  for (const data::UcrDataset& ds : archive) {
+    const std::vector<int> labels = ds.TestLabels();
+
+    const core::DetectionResult r =
+        RunTriad(MakeTriadConfig(config, 1000), ds);
+    // Equal budgets: MTGFlow flags exactly as many points as TriAD did, so
+    // the comparison is purely about *where* each model looks.
+    int64_t triad_flagged = 0;
+    for (int v : r.predictions) triad_flagged += v;
+    const double budget = std::max(
+        0.005, static_cast<double>(triad_flagged) /
+                   static_cast<double>(ds.test.size()));
+
+    baselines::MtgFlowOptions options;
+    options.epochs = config.epochs;
+    baselines::MtgFlowDetector mtgflow(options);
+    TRIAD_CHECK(mtgflow.Fit(ds.train).ok());
+    auto scores = mtgflow.Score(ds.test);
+    TRIAD_CHECK_MSG(scores.ok(), scores.status().ToString());
+    const std::vector<int> mtg_pred =
+        baselines::TopQuantilePredictions(*scores, std::min(budget, 0.5));
+
+    for (const auto& [name, pred] :
+         {std::pair<const char*, const std::vector<int>&>{"MTGFlow",
+                                                          mtg_pred},
+          std::pair<const char*, const std::vector<int>&>{"TriAD",
+                                                          r.predictions}}) {
+      const eval::Confusion c = eval::ComputeConfusion(pred, labels);
+      const int64_t flagged = c.tp + c.fp;
+      table.AddRow({ds.name, name, std::to_string(flagged),
+                    std::to_string(c.fp),
+                    TablePrinter::Num(
+                        flagged == 0 ? 0.0
+                                     : static_cast<double>(c.fp) /
+                                           static_cast<double>(flagged))});
+    }
+  }
+  table.Print();
+  PrintPaperReference(
+      "Fig. 14 — MTGFlow tends to flag normal patterns as anomalies on "
+      "subtle data. Shape to match: MTGFlow's false-positive share of its "
+      "detections consistently above TriAD's.");
+}
+
+}  // namespace
+}  // namespace triad::bench
+
+int main() { triad::bench::RunBench(); }

@@ -1,0 +1,69 @@
+// Reproduces paper Fig. 15 / Section IV-G: when the anomalous event is wide
+// enough to dominate the search window, discord discovery flags the *normal*
+// remainder instead; TriAD's exception rule (trust the window) repairs it.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/metrics.h"
+
+namespace triad::bench {
+namespace {
+
+void RunBench() {
+  BenchConfig config = LoadBenchConfig();
+  PrintBenchHeader("Fig. 15 — exception rule when discord discovery fails",
+                   config);
+  const data::UcrDataset ds =
+      data::MakeWideAnomalyDataset(config.archive_seed);
+  std::printf("dataset: anomaly [%lld, %lld) spans %lld points (~5 periods "
+              "of %lld)\n",
+              static_cast<long long>(ds.anomaly_begin),
+              static_cast<long long>(ds.anomaly_end),
+              static_cast<long long>(ds.anomaly_length()),
+              static_cast<long long>(ds.period));
+
+  const core::DetectionResult r = RunTriad(MakeTriadConfig(config, 1000), ds);
+  const std::vector<int> labels = ds.TestLabels();
+
+  // Votes-only predictions (what we'd report with the exception disabled).
+  std::vector<double> nonzero;
+  for (double v : r.votes) {
+    if (v > 0) nonzero.push_back(v);
+  }
+  const double threshold = nonzero.empty() ? 0.0 : Mean(nonzero);
+  std::vector<int> without_exception(r.votes.size(), 0);
+  for (size_t i = 0; i < r.votes.size(); ++i) {
+    without_exception[i] = r.votes[i] > threshold ? 1 : 0;
+  }
+
+  TablePrinter table({"variant", "precision", "recall", "F1"});
+  const eval::Confusion raw =
+      eval::ComputeConfusion(without_exception, labels);
+  table.AddRow({"votes only (no exception)", TablePrinter::Num(raw.Precision()),
+                TablePrinter::Num(raw.Recall()),
+                TablePrinter::Num(raw.F1())});
+  const eval::Confusion final_pred =
+      eval::ComputeConfusion(r.predictions, labels);
+  table.AddRow({"TriAD (with exception rule)",
+                TablePrinter::Num(final_pred.Precision()),
+                TablePrinter::Num(final_pred.Recall()),
+                TablePrinter::Num(final_pred.F1())});
+  table.Print();
+  std::printf("exception rule fired: %s\n",
+              r.exception_applied ? "yes" : "no");
+  PrintPaperReference(
+      "Fig. 15 (UCR '150') — with the anomalous segment dominating the "
+      "search window, MERLIN flags regular patterns; assigning the whole "
+      "TriAD window as positive recovers the event. Shape to match: the "
+      "exception variant's F1 at or above the votes-only variant whenever "
+      "the rule fires.");
+}
+
+}  // namespace
+}  // namespace triad::bench
+
+int main() { triad::bench::RunBench(); }

@@ -1,0 +1,72 @@
+// Reproduces paper Fig. 16: TriAD detects a gallery of anomaly types —
+// noise, duration, seasonal, trend, level shift, contextual — of varying
+// lengths. Prints true vs predicted spans per type.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "eval/metrics.h"
+
+namespace triad::bench {
+namespace {
+
+void RunBench() {
+  BenchConfig config = LoadBenchConfig();
+  PrintBenchHeader("Fig. 16 — diversity of detected anomaly types", config);
+
+  data::UcrGeneratorOptions gen;
+  gen.seed = config.archive_seed;
+  gen.severity = 0.9;
+
+  TablePrinter table({"anomaly type", "true span", "len", "predicted span",
+                      "event hit (±100)", "affiliation F1"});
+  const data::AnomalyType types[] = {
+      data::AnomalyType::kNoise,      data::AnomalyType::kDuration,
+      data::AnomalyType::kSeasonal,   data::AnomalyType::kTrend,
+      data::AnomalyType::kLevelShift, data::AnomalyType::kContextual,
+  };
+  int64_t index = 0;
+  for (data::AnomalyType type : types) {
+    Rng rng(gen.seed + static_cast<uint64_t>(index));
+    const data::UcrDataset ds =
+        data::MakeUcrDataset(gen, index++, type, "sine", &rng);
+    const core::DetectionResult r =
+        RunTriad(MakeTriadConfig(config, 1000), ds);
+    const std::vector<int> labels = ds.TestLabels();
+
+    // Predicted span: the extent of flagged points.
+    int64_t lo = -1, hi = -1;
+    for (size_t i = 0; i < r.predictions.size(); ++i) {
+      if (r.predictions[i] != 0) {
+        if (lo < 0) lo = static_cast<int64_t>(i);
+        hi = static_cast<int64_t>(i);
+      }
+    }
+    char true_span[48], pred_span[48];
+    std::snprintf(true_span, sizeof(true_span), "[%lld, %lld)",
+                  static_cast<long long>(ds.anomaly_begin),
+                  static_cast<long long>(ds.anomaly_end));
+    std::snprintf(pred_span, sizeof(pred_span), "[%lld, %lld]",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+    table.AddRow({data::AnomalyTypeToString(type), true_span,
+                  std::to_string(ds.anomaly_length()), pred_span,
+                  eval::EventDetected(r.predictions, labels, 100) ? "yes"
+                                                                  : "no",
+                  TablePrinter::Num(
+                      eval::ComputeAffiliation(r.predictions, labels).F1())});
+  }
+  table.Print();
+  PrintPaperReference(
+      "Fig. 16 — TriAD spots all six showcased anomaly types with lengths "
+      "20-200, including the subtle duration/level-shift/contextual cases. "
+      "Shape to match: event hits on most types, predicted spans "
+      "overlapping the true spans.");
+}
+
+}  // namespace
+}  // namespace triad::bench
+
+int main() { triad::bench::RunBench(); }

@@ -1,0 +1,84 @@
+// Reproduces paper Fig. 2: a trained LSTM-AE reconstructs *continuous*
+// anomalous patterns almost as well as normal ones, so reconstruction error
+// barely separates them — the failure mode motivating TriAD.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/lstm_ae.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "signal/windows.h"
+
+namespace triad::bench {
+namespace {
+
+double ReconstructionError(baselines::LstmAeDetector* detector,
+                           const std::vector<double>& window) {
+  auto recon = detector->Reconstruct(window);
+  TRIAD_CHECK_MSG(recon.ok(), recon.status().ToString());
+  double err = 0.0;
+  for (size_t i = 0; i < window.size(); ++i) {
+    err += (recon->at(i) - window[i]) * (recon->at(i) - window[i]);
+  }
+  return std::sqrt(err / static_cast<double>(window.size()));
+}
+
+void RunBench() {
+  BenchConfig config = LoadBenchConfig();
+  PrintBenchHeader("Fig. 2 — LSTM-AE reconstructs anomalies too well",
+                   config);
+  // Continuous, smooth anomalies — exactly the patterns Fig. 2 shows the
+  // AE tracking: frequency shifts, shape distortions, duration plateaus.
+  data::UcrGeneratorOptions gen;
+  gen.seed = config.archive_seed;
+  gen.severity = 1.0;
+  std::vector<data::UcrDataset> archive;
+  int64_t index = 0;
+  for (data::AnomalyType type :
+       {data::AnomalyType::kSeasonal, data::AnomalyType::kContextual,
+        data::AnomalyType::kDuration}) {
+    for (const char* family : {"sine", "ecg"}) {
+      Rng rng(gen.seed + static_cast<uint64_t>(index));
+      archive.push_back(
+          data::MakeUcrDataset(gen, index++, type, family, &rng));
+    }
+  }
+
+  TablePrinter table({"Dataset", "RMSE (normal window)", "RMSE (anomaly)",
+                      "ratio"});
+  for (const data::UcrDataset& ds : archive) {
+    baselines::LstmAeOptions options;
+    options.epochs = config.epochs;
+    baselines::LstmAeDetector detector(options);
+    TRIAD_CHECK(detector.Fit(ds.train).ok());
+
+    const int64_t L = options.window_length;
+    const std::vector<double> normal = signal::ExtractWindow(ds.test, 0, L);
+    const int64_t start = std::clamp<int64_t>(
+        (ds.anomaly_begin + ds.anomaly_end) / 2 - L / 2, 0,
+        static_cast<int64_t>(ds.test.size()) - L);
+    const std::vector<double> anomalous =
+        signal::ExtractWindow(ds.test, start, L);
+
+    const double err_normal = ReconstructionError(&detector, normal);
+    const double err_anomaly = ReconstructionError(&detector, anomalous);
+    table.AddRow({ds.name, TablePrinter::Num(err_normal, 4),
+                  TablePrinter::Num(err_anomaly, 4),
+                  TablePrinter::Num(err_anomaly / std::max(err_normal, 1e-9),
+                                    2)});
+  }
+  table.Print();
+  PrintPaperReference(
+      "Fig. 2 — qualitative: the AE's reconstruction hugs the anomalous "
+      "segment. Shape to match: anomaly RMSE within a small factor (<~3x) "
+      "of normal RMSE, i.e. reconstruction error is a weak separator for "
+      "continuous anomalies.");
+}
+
+}  // namespace
+}  // namespace triad::bench
+
+int main() { triad::bench::RunBench(); }

@@ -1,0 +1,117 @@
+// Reproduces paper Table II (and the Fig. 3 observation): on flawed
+// benchmarks with explicit anomalies, point adjustment (PA) inflates F1, and
+// a randomly initialized LSTM-AE can match or beat its trained counterpart
+// under honest metrics — while on a rigorous UCR-style archive both stay low.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/lstm_ae.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "eval/metrics.h"
+#include "data/flawed_benchmarks.h"
+
+namespace triad::bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  std::string model;
+  double f1_pw, f1_pa, f1_pak;
+};
+
+Row Evaluate(const std::string& dataset_name, const std::string& model_name,
+             baselines::LstmAeDetector* detector,
+             const std::vector<double>& train, const std::vector<double>& test,
+             const std::vector<int>& labels) {
+  TRIAD_CHECK(detector->Fit(train).ok());
+  auto scores = detector->Score(test);
+  TRIAD_CHECK_MSG(scores.ok(), scores.status().ToString());
+  // Fixed-budget thresholding: flag the top 2% of points, the same rule for
+  // every variant (no PA, no oracle threshold).
+  const std::vector<int> pred =
+      baselines::TopQuantilePredictions(*scores, 0.02);
+  Row row;
+  row.dataset = dataset_name;
+  row.model = model_name;
+  row.f1_pw = eval::ComputeConfusion(pred, labels).F1();
+  row.f1_pa =
+      eval::ComputeConfusion(eval::PointAdjust(pred, labels), labels).F1();
+  row.f1_pak = eval::ComputePaKCurve(pred, labels).f1_auc;
+  return row;
+}
+
+void RunBench() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBenchHeader("Table II — PA inflation on flawed benchmarks", config);
+
+  baselines::LstmAeOptions trained_options;
+  trained_options.epochs = config.epochs;
+  baselines::LstmAeOptions random_options = trained_options;
+  random_options.trained = false;
+
+  std::vector<Row> rows;
+
+  // KPI-like and SWaT-like flawed benchmarks.
+  const data::LabeledSeries kpi = data::MakeKpiLike(config.archive_seed);
+  const data::LabeledSeries swat = data::MakeSwatLike(config.archive_seed);
+  for (const auto* series : {&kpi, &swat}) {
+    baselines::LstmAeDetector random(random_options);
+    rows.push_back(Evaluate(series->name, "LSTM-AE (Random)", &random,
+                            series->train, series->test,
+                            series->test_labels));
+    baselines::LstmAeDetector trained(trained_options);
+    rows.push_back(Evaluate(series->name, "LSTM-AE (Trained)", &trained,
+                            series->train, series->test,
+                            series->test_labels));
+  }
+
+  // Rigorous UCR-style archive: averages across datasets.
+  const std::vector<data::UcrDataset> archive = MakeBenchArchive(config);
+  for (bool trained : {false, true}) {
+    double pw = 0, pa = 0, pak = 0;
+    for (const data::UcrDataset& ds : archive) {
+      baselines::LstmAeDetector detector(trained ? trained_options
+                                                 : random_options);
+      const Row r = Evaluate("ucr", detector.Name(), &detector, ds.train,
+                             ds.test, ds.TestLabels());
+      pw += r.f1_pw;
+      pa += r.f1_pa;
+      pak += r.f1_pak;
+    }
+    const double n = static_cast<double>(archive.size());
+    rows.push_back({"ucr-style",
+                    trained ? "LSTM-AE (Trained)" : "LSTM-AE (Random)",
+                    pw / n, pa / n, pak / n});
+  }
+
+  TablePrinter table({"Dataset", "Model", "F1(PW)", "F1(PA)", "F1(PA%K)"});
+  for (const Row& r : rows) {
+    table.AddRow({r.dataset, r.model, TablePrinter::Num(r.f1_pw),
+                  TablePrinter::Num(r.f1_pa), TablePrinter::Num(r.f1_pak)});
+  }
+  table.Print();
+  PrintPaperReference(
+      "Table II — KPI: random 0.229/0.463/0.294 vs trained "
+      "0.212/0.524/0.279; SWaT: random 0.756/0.903/0.859 vs trained "
+      "0.454/0.920/0.537; UCR: random 0.016/0.122/0.025 vs trained "
+      "0.028/0.296/0.045. Shape to match: F1(PA) >> F1(PW) everywhere; "
+      "random competitive with trained on KPI/SWaT; both near zero on UCR.");
+
+  // Fig. 3 companion: the 'one-liner' z-score detector on the KPI-like set.
+  const std::vector<int> one_liner = eval::OneLinerDetector(kpi.test, 3.0);
+  const auto pa_adjusted = eval::PointAdjust(one_liner, kpi.test_labels);
+  std::printf(
+      "\nFig. 3 companion — one-liner detector (|z|>3) on kpi_like: "
+      "F1(PW)=%.3f F1(PA)=%.3f (explicit anomalies are trivially "
+      "detectable)\n",
+      eval::ComputeConfusion(one_liner, kpi.test_labels).F1(),
+      eval::ComputeConfusion(pa_adjusted, kpi.test_labels).F1());
+}
+
+}  // namespace
+}  // namespace triad::bench
+
+int main() { triad::bench::RunBench(); }

@@ -1,0 +1,191 @@
+// Reproduces paper Table III: TriAD versus six deep-learning baselines on
+// the UCR-style archive, scored with point-wise F1, PA F1, PA%K AUCs and
+// affiliation metrics. TriAD is averaged over several seeds (mean ±sd).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/anomaly_detector.h"
+#include "baselines/anomaly_transformer.h"
+#include "baselines/dcdetector.h"
+#include "baselines/lstm_ae.h"
+#include "baselines/mtgflow.h"
+#include "baselines/ncad.h"
+#include "baselines/spectral_residual.h"
+#include "baselines/ts2vec.h"
+#include "baselines/usad.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "eval/metrics.h"
+
+namespace triad::bench {
+namespace {
+
+// Every baseline flags the same fixed budget of points: the top 2% of its
+// anomaly scores (no PA, no oracle thresholds — the paper's protocol of
+// stripping PA before rigorous metrics).
+constexpr double kScoreBudget = 0.02;
+
+using Factory = std::function<std::unique_ptr<baselines::AnomalyDetector>()>;
+
+std::vector<std::pair<std::string, Factory>> BaselineFactories(
+    const BenchConfig& config) {
+  const int64_t epochs = config.epochs;
+  return {
+      {"LSTM-AE (Random)",
+       [=] {
+         baselines::LstmAeOptions o;
+         o.trained = false;
+         return std::make_unique<baselines::LstmAeDetector>(o);
+       }},
+      {"LSTM-AE (Trained)",
+       [=] {
+         baselines::LstmAeOptions o;
+         o.epochs = epochs;
+         return std::make_unique<baselines::LstmAeDetector>(o);
+       }},
+      {"USAD",
+       [=] {
+         baselines::UsadOptions o;
+         o.epochs = epochs;
+         return std::make_unique<baselines::UsadDetector>(o);
+       }},
+      {"TS2Vec",
+       [=] {
+         baselines::Ts2VecOptions o;
+         o.epochs = epochs;
+         return std::make_unique<baselines::Ts2VecDetector>(o);
+       }},
+      {"Anomaly Transformer",
+       [=] {
+         baselines::AnomalyTransformerOptions o;
+         o.epochs = epochs;
+         return std::make_unique<baselines::AnomalyTransformerDetector>(o);
+       }},
+      {"MTGFlow",
+       [=] {
+         baselines::MtgFlowOptions o;
+         o.epochs = epochs;
+         return std::make_unique<baselines::MtgFlowDetector>(o);
+       }},
+      {"DCdetector",
+       [=] {
+         baselines::DcDetectorOptions o;
+         o.epochs = epochs;
+         return std::make_unique<baselines::DcDetector>(o);
+       }},
+      // Not in the paper's Table III; extra comparators included for
+      // context (a classical training-free method and the related-work
+      // NCAD, the paper's ref [46]).
+      {"[extra] Spectral Residual",
+       [] {
+         return std::make_unique<baselines::SpectralResidualDetector>();
+       }},
+      {"[extra] NCAD",
+       [=] {
+         baselines::NcadOptions o;
+         o.epochs = epochs;
+         return std::make_unique<baselines::NcadDetector>(o);
+       }},
+  };
+}
+
+std::vector<std::string> FormatRow(const std::string& model,
+                                   const MetricsRow& m) {
+  return {model,
+          TablePrinter::Num(m.f1_pw),
+          TablePrinter::Num(m.f1_pa),
+          TablePrinter::Num(m.pak_precision_auc),
+          TablePrinter::Num(m.pak_recall_auc),
+          TablePrinter::Num(m.pak_f1_auc),
+          TablePrinter::Num(m.aff_precision),
+          TablePrinter::Num(m.aff_recall),
+          TablePrinter::Num(m.aff_f1)};
+}
+
+void RunBench() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBenchHeader("Table III — TriAD vs SOTA deep learning models", config);
+  const std::vector<data::UcrDataset> archive = MakeBenchArchive(config);
+
+  TablePrinter table({"Model", "F1(PW)", "F1(PA)", "P-AUC", "R-AUC", "F1-AUC",
+                      "Aff-P", "Aff-R", "Aff-F1"});
+
+  // --- baselines ---
+  for (const auto& [name, factory] : BaselineFactories(config)) {
+    std::vector<MetricsRow> rows;
+    for (const data::UcrDataset& ds : archive) {
+      auto detector = factory();
+      const Status fit = detector->Fit(ds.train);
+      TRIAD_CHECK_MSG(fit.ok(), name << " failed on " << ds.name << ": "
+                                     << fit.ToString());
+      auto scores = detector->Score(ds.test);
+      TRIAD_CHECK_MSG(scores.ok(), scores.status().ToString());
+      const std::vector<int> pred =
+          baselines::TopQuantilePredictions(*scores, kScoreBudget);
+      rows.push_back(ComputeMetricsRow(pred, ds.TestLabels()));
+    }
+    table.AddRow(FormatRow(name, MeanRow(rows)));
+    std::printf("  [done] %s\n", name.c_str());
+  }
+
+  // --- TriAD over seeds ---
+  std::vector<double> seed_f1_auc, seed_aff_f1, tri_hits, single_hits;
+  std::vector<MetricsRow> seed_means;
+  for (int64_t seed = 0; seed < config.seeds; ++seed) {
+    std::vector<MetricsRow> rows;
+    double tri = 0, single = 0;
+    for (const data::UcrDataset& ds : archive) {
+      const core::DetectionResult r =
+          RunTriad(MakeTriadConfig(config, 1000 + static_cast<uint64_t>(seed)),
+                   ds);
+      rows.push_back(ComputeMetricsRow(r.predictions, ds.TestLabels()));
+      bool tri_hit = false;
+      for (int64_t cand : r.candidate_windows) {
+        tri_hit = tri_hit ||
+                  WindowHitsAnomaly(r.window_starts[static_cast<size_t>(cand)],
+                                    r.window_length, ds);
+      }
+      tri += tri_hit ? 1.0 : 0.0;
+      single += WindowHitsAnomaly(
+                    r.window_starts[static_cast<size_t>(r.selected_window)],
+                    r.window_length, ds)
+                    ? 1.0
+                    : 0.0;
+    }
+    const MetricsRow mean = MeanRow(rows);
+    seed_means.push_back(mean);
+    seed_f1_auc.push_back(mean.pak_f1_auc);
+    seed_aff_f1.push_back(mean.aff_f1);
+    tri_hits.push_back(tri / static_cast<double>(archive.size()));
+    single_hits.push_back(single / static_cast<double>(archive.size()));
+    std::printf("  [done] TriAD seed %lld\n", static_cast<long long>(seed));
+  }
+  const MetricsRow triad_mean = MeanRow(seed_means);
+  std::vector<std::string> triad_row = FormatRow("TriAD", triad_mean);
+  triad_row[5] = TablePrinter::MeanSd(Mean(seed_f1_auc), StdDev(seed_f1_auc));
+  triad_row[8] = TablePrinter::MeanSd(Mean(seed_aff_f1), StdDev(seed_aff_f1));
+  table.AddRow(triad_row);
+  table.Print();
+
+  std::printf(
+      "Window-based detection accuracy of TriAD: tri-window %s, "
+      "single window %s\n",
+      TablePrinter::MeanSd(Mean(tri_hits), StdDev(tri_hits)).c_str(),
+      TablePrinter::MeanSd(Mean(single_hits), StdDev(single_hits)).c_str());
+  PrintPaperReference(
+      "Table III — TriAD F1-AUC 0.263 ±0.010 vs best baseline 0.070 (USAD/"
+      "MTGFlow); affiliation F1 0.729 vs 0.693; tri-window 0.531 ±0.017, "
+      "single window 0.482 ±0.019. Shape to match: TriAD's PA%K F1-AUC "
+      "several times the baselines'; its PW->PA gap small while baselines "
+      "inflate; affiliation F1 highest for TriAD.");
+}
+
+}  // namespace
+}  // namespace triad::bench
+
+int main() { triad::bench::RunBench(); }

@@ -1,0 +1,116 @@
+// Reproduces paper Table IV: event-wise accuracy and inference time of
+// MERLIN++ over whole test sets versus TriAD's window nominations (tri-window
+// and single-window), on the shortest archive datasets.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "discord/discord.h"
+#include "eval/metrics.h"
+
+namespace triad::bench {
+namespace {
+
+void RunBench() {
+  BenchConfig config = LoadBenchConfig();
+  PrintBenchHeader("Table IV — MERLIN++ vs TriAD window detection", config);
+  // Longer test splits and subtler anomalies: the regime of the real
+  // archive's "62 shortest" sets (which still span tens of thousands of
+  // points — whole-series discord search pays per point, TriAD does not).
+  data::UcrGeneratorOptions options;
+  options.count = config.datasets;
+  options.seed = config.archive_seed;
+  options.severity = std::min(config.severity, 0.3);
+  options.min_test_periods = 40;
+  options.max_test_periods = 70;
+  std::vector<data::UcrDataset> archive = data::MakeUcrArchive(options);
+  // Paper protocol: the shortest datasets, ordered by length.
+  std::sort(archive.begin(), archive.end(),
+            [](const data::UcrDataset& a, const data::UcrDataset& b) {
+              return a.test.size() < b.test.size();
+            });
+  const size_t count = std::max<size_t>(1, archive.size() / 2);
+  archive.resize(count);
+
+  // --- MERLIN++ over the whole test set, discord lengths around the
+  // period (it does not know where to look). ---
+  double merlin_hits = 0.0;
+  Timer merlin_timer;
+  for (const data::UcrDataset& ds : archive) {
+    const int64_t min_len = std::max<int64_t>(8, ds.period / 4);
+    const int64_t max_len = std::min<int64_t>(
+        2 * ds.period, static_cast<int64_t>(ds.test.size()) / 2 - 1);
+    auto result = discord::MerlinPlusPlus(ds.test, min_len, max_len,
+                                          std::max<int64_t>(1, ds.period / 8));
+    TRIAD_CHECK_MSG(result.ok(), result.status().ToString());
+    // Top discord across lengths = the detection.
+    std::vector<int> pred(ds.test.size(), 0);
+    double best = -1.0;
+    discord::Discord top;
+    for (const discord::Discord& d : result->discords) {
+      if (d.distance / std::sqrt(static_cast<double>(d.length)) > best) {
+        best = d.distance / std::sqrt(static_cast<double>(d.length));
+        top = d;
+      }
+    }
+    if (top.position >= 0) {
+      for (int64_t i = top.position;
+           i < std::min<int64_t>(top.position + top.length,
+                                 static_cast<int64_t>(pred.size()));
+           ++i) {
+        pred[static_cast<size_t>(i)] = 1;
+      }
+    }
+    merlin_hits += eval::EventDetected(pred, ds.TestLabels(), 100) ? 1 : 0;
+  }
+  const double merlin_minutes = merlin_timer.ElapsedSeconds() / 60.0;
+
+  // --- TriAD windows ---
+  double tri_hits = 0.0, single_hits = 0.0;
+  Timer triad_timer;
+  double triad_infer_seconds = 0.0;
+  for (const data::UcrDataset& ds : archive) {
+    const core::DetectionResult r =
+        RunTriad(MakeTriadConfig(config, 1000), ds);
+    triad_infer_seconds += r.TotalSeconds();
+    bool tri_hit = false;
+    for (int64_t cand : r.candidate_windows) {
+      tri_hit = tri_hit ||
+                WindowHitsAnomaly(r.window_starts[static_cast<size_t>(cand)],
+                                  r.window_length, ds);
+    }
+    tri_hits += tri_hit ? 1 : 0;
+    single_hits += WindowHitsAnomaly(
+                       r.window_starts[static_cast<size_t>(r.selected_window)],
+                       r.window_length, ds)
+                       ? 1
+                       : 0;
+  }
+  const double n = static_cast<double>(archive.size());
+
+  TablePrinter table({"Model", "Accuracy", "Inference Time (mins)"});
+  table.AddRow({"Merlin++", TablePrinter::Num(merlin_hits / n),
+                TablePrinter::Num(merlin_minutes, 3)});
+  table.AddRow({"TriAD (tri-window)", TablePrinter::Num(tri_hits / n),
+                TablePrinter::Num(triad_infer_seconds / 60.0, 3)});
+  table.AddRow({"TriAD (single window)", TablePrinter::Num(single_hits / n),
+                TablePrinter::Num(triad_infer_seconds / 60.0, 3)});
+  table.Print();
+  std::printf(
+      "(TriAD inference time excludes training, as the paper reports "
+      "inference only; MERLIN++ has no training phase.)\n");
+  PrintPaperReference(
+      "Table IV — Merlin++ 0.424 acc / 14.5 min; TriAD tri-window 0.681 / "
+      "0.99 min; single window 0.623 / 1.01 min. Shape to match: TriAD "
+      "accuracy ~1.5x MERLIN++'s with ~10x faster inference.");
+}
+
+}  // namespace
+}  // namespace triad::bench
+
+int main() { triad::bench::RunBench(); }

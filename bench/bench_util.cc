@@ -1,0 +1,120 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/stats.h"
+
+namespace triad::bench {
+
+BenchConfig LoadBenchConfig() {
+  BenchConfig config;
+  config.datasets = GetEnvInt("TRIAD_BENCH_DATASETS", config.datasets);
+  config.seeds = GetEnvInt("TRIAD_BENCH_SEEDS", config.seeds);
+  config.epochs = GetEnvInt("TRIAD_BENCH_EPOCHS", config.epochs);
+  config.depth = GetEnvInt("TRIAD_BENCH_DEPTH", config.depth);
+  config.hidden = GetEnvInt("TRIAD_BENCH_HIDDEN", config.hidden);
+  config.severity = GetEnvDouble("TRIAD_BENCH_SEVERITY", config.severity);
+  config.archive_seed =
+      static_cast<uint64_t>(GetEnvInt("TRIAD_BENCH_ARCHIVE_SEED", 7));
+  return config;
+}
+
+std::vector<data::UcrDataset> MakeBenchArchive(const BenchConfig& config) {
+  data::UcrGeneratorOptions options;
+  options.count = config.datasets;
+  options.seed = config.archive_seed;
+  options.severity = config.severity;
+  return data::MakeUcrArchive(options);
+}
+
+core::TriadConfig MakeTriadConfig(const BenchConfig& config, uint64_t seed) {
+  core::TriadConfig triad;
+  triad.depth = config.depth;
+  triad.hidden_dim = config.hidden;
+  triad.epochs = config.epochs;
+  triad.seed = seed;
+  triad.merlin_length_step = 2;
+  return triad;
+}
+
+MetricsRow ComputeMetricsRow(const std::vector<int>& pred,
+                             const std::vector<int>& labels) {
+  MetricsRow row;
+  row.f1_pw = eval::ComputeConfusion(pred, labels).F1();
+  row.f1_pa =
+      eval::ComputeConfusion(eval::PointAdjust(pred, labels), labels).F1();
+  const eval::PaKCurve curve = eval::ComputePaKCurve(pred, labels);
+  row.pak_precision_auc = curve.precision_auc;
+  row.pak_recall_auc = curve.recall_auc;
+  row.pak_f1_auc = curve.f1_auc;
+  const eval::AffiliationScore aff = eval::ComputeAffiliation(pred, labels);
+  row.aff_precision = aff.precision;
+  row.aff_recall = aff.recall;
+  row.aff_f1 = aff.F1();
+  return row;
+}
+
+MetricsRow MeanRow(const std::vector<MetricsRow>& rows) {
+  MetricsRow mean;
+  if (rows.empty()) return mean;
+  for (const MetricsRow& r : rows) {
+    mean.f1_pw += r.f1_pw;
+    mean.f1_pa += r.f1_pa;
+    mean.pak_precision_auc += r.pak_precision_auc;
+    mean.pak_recall_auc += r.pak_recall_auc;
+    mean.pak_f1_auc += r.pak_f1_auc;
+    mean.aff_precision += r.aff_precision;
+    mean.aff_recall += r.aff_recall;
+    mean.aff_f1 += r.aff_f1;
+  }
+  const double n = static_cast<double>(rows.size());
+  mean.f1_pw /= n;
+  mean.f1_pa /= n;
+  mean.pak_precision_auc /= n;
+  mean.pak_recall_auc /= n;
+  mean.pak_f1_auc /= n;
+  mean.aff_precision /= n;
+  mean.aff_recall /= n;
+  mean.aff_f1 /= n;
+  return mean;
+}
+
+void PrintBenchHeader(const std::string& title, const BenchConfig& config) {
+  std::printf("==== %s ====\n", title.c_str());
+  std::printf(
+      "workload: %lld datasets, %lld seeds, %lld epochs, depth=%lld, "
+      "h_d=%lld, severity=%.2f (env TRIAD_BENCH_* to scale toward the "
+      "paper's 250 datasets / 5 seeds / 20 epochs / depth 6 / h_d 32)\n",
+      static_cast<long long>(config.datasets),
+      static_cast<long long>(config.seeds),
+      static_cast<long long>(config.epochs),
+      static_cast<long long>(config.depth),
+      static_cast<long long>(config.hidden), config.severity);
+}
+
+void PrintPaperReference(const std::string& text) {
+  std::printf("PAPER: %s\n", text.c_str());
+}
+
+bool WindowHitsAnomaly(int64_t start, int64_t length,
+                       const data::UcrDataset& ds) {
+  return core::WindowOverlapsRange(start, length, ds.anomaly_begin,
+                                   ds.anomaly_end);
+}
+
+core::DetectionResult RunTriad(const core::TriadConfig& config,
+                               const data::UcrDataset& ds) {
+  core::TriadDetector detector(config);
+  const Status fit = detector.Fit(ds.train);
+  TRIAD_CHECK_MSG(fit.ok(), "TriAD fit failed on " << ds.name << ": "
+                                                   << fit.ToString());
+  auto result = detector.Detect(ds.test);
+  TRIAD_CHECK_MSG(result.ok(), "TriAD detect failed on "
+                                   << ds.name << ": "
+                                   << result.status().ToString());
+  return std::move(result).value();
+}
+
+}  // namespace triad::bench

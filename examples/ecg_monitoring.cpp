@@ -1,0 +1,82 @@
+// Health-surveillance scenario (paper intro: sleep apnea / ECG monitoring).
+//
+// An ECG-like stream with a subtle contextual anomaly — a missing T wave,
+// the UCR "025" case study — is analyzed end to end, and every inference
+// stage's artifacts are printed so a clinician-facing system could explain
+// *why* a region was flagged (the interpretability TriAD advertises).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/detector.h"
+#include "data/ucr_generator.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace triad;
+
+  const data::UcrDataset ecg = data::MakeCaseStudy025(/*seed=*/7);
+  std::printf("ECG stream: %zu beats-worth of test samples, period %lld\n",
+              ecg.test.size(), static_cast<long long>(ecg.period));
+  std::printf("ground truth: missing T-wave at [%lld, %lld)\n\n",
+              static_cast<long long>(ecg.anomaly_begin),
+              static_cast<long long>(ecg.anomaly_end));
+
+  core::TriadConfig config;
+  config.depth = 3;
+  config.hidden_dim = 16;
+  config.epochs = 8;
+  core::TriadDetector detector(config);
+  if (Status s = detector.Fit(ecg.train); !s.ok()) {
+    std::printf("fit failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto result = detector.Detect(ecg.test);
+  if (!result.ok()) {
+    std::printf("detect failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Stage 1 — which domain saw it? Per-domain similarity drop.
+  static const char* kDomains[] = {"temporal", "frequency", "residual"};
+  std::printf("stage 1 — domain votes (lower similarity = more deviant):\n");
+  for (size_t d = 0; d < result->domain_similarity.size(); ++d) {
+    const auto& sim = result->domain_similarity[d];
+    const int64_t lowest = ArgMin(sim);
+    std::printf("  %-9s nominates window %2lld  (similarity %.3f vs mean "
+                "%.3f)\n",
+                kDomains[d], static_cast<long long>(lowest),
+                sim[static_cast<size_t>(lowest)], Mean(sim));
+  }
+
+  // Stage 2 — the single most suspicious window.
+  const int64_t window_start =
+      result->window_starts[static_cast<size_t>(result->selected_window)];
+  std::printf("stage 2 — selected window %lld covering [%lld, %lld)\n",
+              static_cast<long long>(result->selected_window),
+              static_cast<long long>(window_start),
+              static_cast<long long>(window_start + result->window_length));
+
+  // Stage 3 — discord localization inside the padded region.
+  std::printf("stage 3 — MERLIN searched [%lld, %lld): %zu variable-length "
+              "discords\n",
+              static_cast<long long>(result->search_begin),
+              static_cast<long long>(result->search_end),
+              result->discords.size());
+
+  // Stage 4 — final alarm.
+  const auto events = eval::ExtractEvents(result->predictions);
+  for (const auto& e : events) {
+    std::printf("stage 4 — ALARM: samples [%lld, %lld)\n",
+                static_cast<long long>(e.begin),
+                static_cast<long long>(e.end));
+  }
+  const std::vector<int> labels = ecg.TestLabels();
+  std::printf("\nevent found within ±100 samples: %s | affiliation F1 %.3f\n",
+              eval::EventDetected(result->predictions, labels, 100) ? "YES"
+                                                                    : "no",
+              eval::ComputeAffiliation(result->predictions, labels).F1());
+  return 0;
+}

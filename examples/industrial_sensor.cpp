@@ -1,0 +1,94 @@
+// Industrial-IoT scenario (paper intro: manufacturing / supply chain).
+//
+// A plant sensor with operational-cycle seasonality develops a sustained
+// level shift. The example compares three approaches a practitioner might
+// reach for — the one-liner z-score rule, a trained LSTM-AE, and TriAD —
+// under the paper's rigorous metrics.
+
+#include <cstdio>
+
+#include "baselines/anomaly_detector.h"
+#include "baselines/lstm_ae.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "data/ucr_generator.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace triad;
+
+  // A square-wave-like machine cycle with a level-shift fault.
+  data::UcrGeneratorOptions gen;
+  gen.seed = 11;
+  gen.min_period = 48;
+  gen.max_period = 48;
+  Rng rng(gen.seed);
+  const data::UcrDataset sensor = data::MakeUcrDataset(
+      gen, 0, data::AnomalyType::kLevelShift, "square", &rng);
+  const std::vector<int> labels = sensor.TestLabels();
+  std::printf("sensor stream: %zu test samples, level-shift fault at "
+              "[%lld, %lld)\n\n",
+              sensor.test.size(),
+              static_cast<long long>(sensor.anomaly_begin),
+              static_cast<long long>(sensor.anomaly_end));
+
+  TablePrinter table({"detector", "F1(PW)", "PA%K F1-AUC", "affiliation F1",
+                      "event hit"});
+  auto add_row = [&](const char* name, const std::vector<int>& pred) {
+    table.AddRow({name,
+                  TablePrinter::Num(eval::ComputeConfusion(pred, labels).F1()),
+                  TablePrinter::Num(eval::ComputePaKCurve(pred, labels).f1_auc),
+                  TablePrinter::Num(
+                      eval::ComputeAffiliation(pred, labels).F1()),
+                  eval::EventDetected(pred, labels, 100) ? "yes" : "no"});
+  };
+
+  // 1. The "one-liner": flag 3-sigma excursions.
+  add_row("one-liner (|z|>3)", eval::OneLinerDetector(sensor.test, 3.0));
+
+  // 2. LSTM-AE reconstruction error, top 2% of scores flagged.
+  baselines::LstmAeOptions lstm_options;
+  lstm_options.epochs = 6;
+  baselines::LstmAeDetector lstm(lstm_options);
+  if (Status s = lstm.Fit(sensor.train); !s.ok()) {
+    std::printf("LSTM-AE fit failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto scores = lstm.Score(sensor.test);
+  if (!scores.ok()) {
+    std::printf("LSTM-AE score failed: %s\n",
+                scores.status().ToString().c_str());
+    return 1;
+  }
+  add_row("LSTM-AE (trained)",
+          baselines::TopQuantilePredictions(*scores, 0.02));
+
+  // 3. TriAD.
+  core::TriadConfig config;
+  config.depth = 3;
+  config.hidden_dim = 16;
+  config.epochs = 6;
+  core::TriadDetector triad(config);
+  if (Status s = triad.Fit(sensor.train); !s.ok()) {
+    std::printf("TriAD fit failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto result = triad.Detect(sensor.test);
+  if (!result.ok()) {
+    std::printf("TriAD detect failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+  add_row("TriAD", result->predictions);
+
+  table.Print();
+  std::printf("\nTriAD localized the fault to window starting at %lld "
+              "(true fault at %lld) in %.2fs of inference.\n",
+              static_cast<long long>(
+                  result->window_starts[static_cast<size_t>(
+                      result->selected_window)]),
+              static_cast<long long>(sensor.anomaly_begin),
+              result->TotalSeconds());
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "baselines/anomaly_detector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace triad::baselines {
+
+WindowScoreAccumulator::WindowScoreAccumulator(int64_t series_length)
+    : sum_(static_cast<size_t>(series_length), 0.0),
+      count_(static_cast<size_t>(series_length), 0) {}
+
+void WindowScoreAccumulator::AddWindow(int64_t start, int64_t length,
+                                       double score) {
+  const int64_t n = static_cast<int64_t>(sum_.size());
+  TRIAD_CHECK(start >= 0 && start + length <= n);
+  for (int64_t i = start; i < start + length; ++i) {
+    sum_[static_cast<size_t>(i)] += score;
+    ++count_[static_cast<size_t>(i)];
+  }
+}
+
+void WindowScoreAccumulator::AddPointwise(int64_t start,
+                                          const std::vector<double>& scores) {
+  const int64_t n = static_cast<int64_t>(sum_.size());
+  TRIAD_CHECK(start >= 0 &&
+              start + static_cast<int64_t>(scores.size()) <= n);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    sum_[static_cast<size_t>(start) + i] += scores[i];
+    ++count_[static_cast<size_t>(start) + i];
+  }
+}
+
+std::vector<double> WindowScoreAccumulator::Finalize() const {
+  std::vector<double> out(sum_.size(), 0.0);
+  for (size_t i = 0; i < sum_.size(); ++i) {
+    out[i] = count_[i] == 0 ? 0.0 : sum_[i] / static_cast<double>(count_[i]);
+  }
+  return out;
+}
+
+std::vector<int> TopQuantilePredictions(const std::vector<double>& scores,
+                                        double quantile) {
+  TRIAD_CHECK(!scores.empty());
+  TRIAD_CHECK(quantile > 0.0 && quantile < 1.0);
+  const double threshold = Quantile(scores, 1.0 - quantile);
+  std::vector<int> out(scores.size(), 0);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] > threshold ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace triad::baselines

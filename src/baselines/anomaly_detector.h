@@ -1,0 +1,60 @@
+#ifndef TRIAD_BASELINES_ANOMALY_DETECTOR_H_
+#define TRIAD_BASELINES_ANOMALY_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace triad::baselines {
+
+/// \brief Common interface of the SOTA deep-learning baselines the paper
+/// compares against (Table III).
+///
+/// Each detector learns from an anomaly-free training series and emits a
+/// non-negative per-point anomaly score over a test series (higher = more
+/// anomalous). Binarization is the evaluation harness's job so that every
+/// model is thresholded identically (the paper's "exclude any PA processes
+/// prior to our redefined metrics" protocol).
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Trains on normal data.
+  virtual Status Fit(const std::vector<double>& train_series) = 0;
+
+  /// Per-point anomaly scores, same length as `test_series`.
+  virtual Result<std::vector<double>> Score(
+      const std::vector<double>& test_series) = 0;
+};
+
+/// \brief Accumulates per-window scores into per-point scores by averaging
+/// the scores of every window covering each point.
+class WindowScoreAccumulator {
+ public:
+  explicit WindowScoreAccumulator(int64_t series_length);
+
+  /// Adds `score` to every point of [start, start + length).
+  void AddWindow(int64_t start, int64_t length, double score);
+  /// Adds per-offset scores for window [start, start + scores.size()).
+  void AddPointwise(int64_t start, const std::vector<double>& scores);
+
+  /// Average score per point (0 where no window covered).
+  std::vector<double> Finalize() const;
+
+ private:
+  std::vector<double> sum_;
+  std::vector<int64_t> count_;
+};
+
+/// Threshold helper shared by the benches: flags the top `quantile` fraction
+/// of scores (e.g. 0.01 flags the top 1%).
+std::vector<int> TopQuantilePredictions(const std::vector<double>& scores,
+                                        double quantile);
+
+}  // namespace triad::baselines
+
+#endif  // TRIAD_BASELINES_ANOMALY_DETECTOR_H_

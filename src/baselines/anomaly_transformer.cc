@@ -1,0 +1,180 @@
+#include "baselines/anomaly_transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/attention.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "nn/optimizer.h"
+#include "signal/windows.h"
+
+namespace triad::baselines {
+
+using nn::Var;
+
+struct AnomalyTransformerDetector::Network {
+  Network(const AnomalyTransformerOptions& options, Rng* rng)
+      : embed(1, options.model_dim, rng),
+        attention(options.model_dim, rng),
+        project(options.model_dim, 1, rng) {}
+
+  std::vector<Var> Parameters() const {
+    std::vector<Var> p = embed.Parameters();
+    for (const auto& v : attention.Parameters()) p.push_back(v);
+    for (const auto& v : project.Parameters()) p.push_back(v);
+    return p;
+  }
+
+  nn::Linear embed;
+  SelfAttention attention;
+  nn::Linear project;
+  double train_mean = 0.0;
+  double train_std = 1.0;
+};
+
+AnomalyTransformerDetector::AnomalyTransformerDetector(
+    AnomalyTransformerOptions options)
+    : options_(options), rng_(options.seed) {}
+
+AnomalyTransformerDetector::~AnomalyTransformerDetector() = default;
+
+namespace {
+
+nn::Tensor StackRaw(const std::vector<double>& series,
+                    const std::vector<int64_t>& starts, int64_t L,
+                    double mean, double stddev) {
+  std::vector<float> data;
+  data.reserve(starts.size() * static_cast<size_t>(L));
+  for (int64_t s : starts) {
+    for (int64_t i = 0; i < L; ++i) {
+      data.push_back(static_cast<float>(
+          (series[static_cast<size_t>(s + i)] - mean) / stddev));
+    }
+  }
+  return nn::Tensor({static_cast<int64_t>(starts.size()), L, 1},
+                    std::move(data));
+}
+
+// Row-normalized Gaussian prior association [L, L] centered on the diagonal.
+std::vector<double> GaussianPriorRow(int64_t L, int64_t i, double sigma) {
+  std::vector<double> row(static_cast<size_t>(L));
+  double sum = 0.0;
+  for (int64_t j = 0; j < L; ++j) {
+    const double z = static_cast<double>(j - i) / sigma;
+    row[static_cast<size_t>(j)] = std::exp(-0.5 * z * z);
+    sum += row[static_cast<size_t>(j)];
+  }
+  for (auto& v : row) v /= sum;
+  return row;
+}
+
+}  // namespace
+
+Status AnomalyTransformerDetector::Fit(
+    const std::vector<double>& train_series) {
+  const int64_t n = static_cast<int64_t>(train_series.size());
+  if (n < options_.window_length * 2) {
+    return Status::InvalidArgument(
+        "training series too short for AnomalyTransformer");
+  }
+  net_ = std::make_unique<Network>(options_, &rng_);
+  net_->train_mean = Mean(train_series);
+  net_->train_std = std::max(StdDev(train_series), 1e-6);
+
+  const int64_t L = options_.window_length;
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  std::vector<int64_t> order(starts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  nn::Adam optimizer(net_->Parameters(),
+                     static_cast<float>(options_.learning_rate));
+  Var pos = PositionalEncoding(L, options_.model_dim);
+  const int64_t M = static_cast<int64_t>(starts.size());
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (int64_t off = 0; off < M; off += options_.batch_size) {
+      const int64_t count = std::min(options_.batch_size, M - off);
+      std::vector<int64_t> batch_starts;
+      for (int64_t i = 0; i < count; ++i) {
+        batch_starts.push_back(
+            starts[static_cast<size_t>(order[static_cast<size_t>(off + i)])]);
+      }
+      nn::Tensor batch = StackRaw(train_series, batch_starts, L,
+                                  net_->train_mean, net_->train_std);
+      optimizer.ZeroGrad();
+      Var x = nn::Constant(batch);
+      Var h = nn::Add(net_->embed.Forward(x), pos);  // [B, L, d]
+      Var attended = net_->attention.Forward(h);
+      Var recon = net_->project.Forward(attended);   // [B, L, 1]
+      Var loss = nn::MseLoss(recon, x);
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> AnomalyTransformerDetector::Score(
+    const std::vector<double>& test_series) {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("Score called before Fit");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  const int64_t L = std::min(options_.window_length, n);
+  const double sigma =
+      std::max(1.0, options_.prior_sigma_fraction * static_cast<double>(L));
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  Var pos = PositionalEncoding(L, options_.model_dim);
+  WindowScoreAccumulator acc(n);
+
+  for (int64_t s : starts) {
+    nn::Tensor batch = StackRaw(test_series, {s}, L, net_->train_mean,
+                                net_->train_std);
+    Var x = nn::Constant(batch);
+    Var h = nn::Add(net_->embed.Forward(x), pos);
+    Var attn;
+    Var attended = net_->attention.Forward(h, &attn);  // attn: [1, L, L]
+    Var recon = net_->project.Forward(attended);
+
+    // Association discrepancy per timestep: symmetric KL between the
+    // attention row and the Gaussian prior row.
+    std::vector<double> disc(static_cast<size_t>(L));
+    for (int64_t i = 0; i < L; ++i) {
+      const std::vector<double> prior = GaussianPriorRow(L, i, sigma);
+      double kl_ps = 0.0, kl_sp = 0.0;
+      for (int64_t j = 0; j < L; ++j) {
+        const double series_assoc =
+            std::max(1e-9, static_cast<double>(attn.value()[i * L + j]));
+        const double p = std::max(1e-9, prior[static_cast<size_t>(j)]);
+        kl_ps += p * std::log(p / series_assoc);
+        kl_sp += series_assoc * std::log(series_assoc / p);
+      }
+      disc[static_cast<size_t>(i)] = kl_ps + kl_sp;
+    }
+    // Paper's inference: error reweighted by softmax(-discrepancy).
+    double denom = 0.0;
+    std::vector<double> weights(static_cast<size_t>(L));
+    const double dmin = Min(disc);
+    for (int64_t i = 0; i < L; ++i) {
+      weights[static_cast<size_t>(i)] =
+          std::exp(-(disc[static_cast<size_t>(i)] - dmin));
+      denom += weights[static_cast<size_t>(i)];
+    }
+    std::vector<double> scores(static_cast<size_t>(L));
+    for (int64_t i = 0; i < L; ++i) {
+      const double err = recon.value()[i] - batch[i];
+      scores[static_cast<size_t>(i)] =
+          err * err * weights[static_cast<size_t>(i)] / denom *
+          static_cast<double>(L);
+    }
+    acc.AddPointwise(s, scores);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace triad::baselines

@@ -1,0 +1,51 @@
+#include "baselines/attention.h"
+
+#include <cmath>
+
+namespace triad::baselines {
+
+using nn::Var;
+
+SelfAttention::SelfAttention(int64_t model_dim, Rng* rng)
+    : dim_(model_dim),
+      query_(model_dim, model_dim, rng),
+      key_(model_dim, model_dim, rng),
+      value_(model_dim, model_dim, rng),
+      out_(model_dim, model_dim, rng) {}
+
+Var SelfAttention::Forward(const Var& x, Var* attention_out) const {
+  Var q = query_.Forward(x);  // [B, T, d]
+  Var k = key_.Forward(x);
+  Var v = value_.Forward(x);
+  Var logits = nn::MatMul(q, nn::TransposeLast2(k));  // [B, T, T]
+  logits = nn::MulScalar(logits,
+                         1.0f / std::sqrt(static_cast<float>(dim_)));
+  Var attn = nn::Softmax(logits);
+  if (attention_out != nullptr) *attention_out = attn;
+  return out_.Forward(nn::MatMul(attn, v));
+}
+
+std::vector<Var> SelfAttention::Parameters() const {
+  std::vector<Var> p = query_.Parameters();
+  for (const auto& v : key_.Parameters()) p.push_back(v);
+  for (const auto& v : value_.Parameters()) p.push_back(v);
+  for (const auto& v : out_.Parameters()) p.push_back(v);
+  return p;
+}
+
+Var PositionalEncoding(int64_t length, int64_t dim) {
+  nn::Tensor pe({length, dim});
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t i = 0; i < dim; ++i) {
+      const double rate =
+          std::pow(10000.0, -static_cast<double>(i / 2 * 2) /
+                                static_cast<double>(dim));
+      const double angle = static_cast<double>(t) * rate;
+      pe.at(t, i) = static_cast<float>((i % 2 == 0) ? std::sin(angle)
+                                                    : std::cos(angle));
+    }
+  }
+  return nn::Constant(std::move(pe));
+}
+
+}  // namespace triad::baselines

@@ -1,0 +1,34 @@
+#ifndef TRIAD_BASELINES_ATTENTION_H_
+#define TRIAD_BASELINES_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace triad::baselines {
+
+/// \brief Single-head scaled dot-product self-attention used by the
+/// transformer-style baselines (AnomalyTransformer-lite, DCdetector-lite).
+class SelfAttention : public nn::Module {
+ public:
+  SelfAttention(int64_t model_dim, Rng* rng);
+
+  /// x: [B, T, d] -> [B, T, d]. When `attention_out` is non-null it receives
+  /// the row-stochastic attention map [B, T, T] (the "series association").
+  nn::Var Forward(const nn::Var& x, nn::Var* attention_out = nullptr) const;
+
+  std::vector<nn::Var> Parameters() const override;
+
+ private:
+  int64_t dim_;
+  nn::Linear query_;
+  nn::Linear key_;
+  nn::Linear value_;
+  nn::Linear out_;
+};
+
+/// Sinusoidal positional encoding [T, d] (constant, no gradient).
+nn::Var PositionalEncoding(int64_t length, int64_t dim);
+
+}  // namespace triad::baselines
+
+#endif  // TRIAD_BASELINES_ATTENTION_H_

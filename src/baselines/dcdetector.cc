@@ -1,0 +1,169 @@
+#include "baselines/dcdetector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/attention.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "nn/optimizer.h"
+#include "signal/windows.h"
+
+namespace triad::baselines {
+
+using nn::Var;
+
+struct DcDetector::Network {
+  Network(const DcDetectorOptions& options, Rng* rng)
+      : embed(1, options.model_dim, rng),
+        patch_attention(options.model_dim, rng),
+        in_patch_attention(options.model_dim, rng) {}
+
+  std::vector<Var> Parameters() const {
+    std::vector<Var> p = embed.Parameters();
+    for (const auto& v : patch_attention.Parameters()) p.push_back(v);
+    for (const auto& v : in_patch_attention.Parameters()) p.push_back(v);
+    return p;
+  }
+
+  nn::Linear embed;
+  SelfAttention patch_attention;
+  SelfAttention in_patch_attention;
+  double train_mean = 0.0;
+  double train_std = 1.0;
+};
+
+DcDetector::DcDetector(DcDetectorOptions options)
+    : options_(options), rng_(options.seed) {
+  TRIAD_CHECK_EQ(options_.window_length % options_.patch_size, 0);
+}
+
+DcDetector::~DcDetector() = default;
+
+namespace {
+
+nn::Tensor StackRaw(const std::vector<double>& series,
+                    const std::vector<int64_t>& starts, int64_t L,
+                    double mean, double stddev) {
+  std::vector<float> data;
+  data.reserve(starts.size() * static_cast<size_t>(L));
+  for (int64_t s : starts) {
+    for (int64_t i = 0; i < L; ++i) {
+      data.push_back(static_cast<float>(
+          (series[static_cast<size_t>(s + i)] - mean) / stddev));
+    }
+  }
+  return nn::Tensor({static_cast<int64_t>(starts.size()), L, 1},
+                    std::move(data));
+}
+
+// The two normalized view representations [B, L, d].
+struct DualViews {
+  Var patch_wise;
+  Var in_patch;
+};
+
+DualViews ForwardViews(const DcDetector::Network* net, const nn::Tensor& batch,
+                       int64_t patch_size, int64_t model_dim) {
+  const int64_t B = batch.dim(0);
+  const int64_t L = batch.dim(1);
+  const int64_t G = L / patch_size;
+  Var h = net->embed.Forward(nn::Constant(batch));        // [B, L, d]
+
+  // Patch-wise view: attention across patch summaries, upsampled back.
+  Var grouped = nn::Reshape(h, {B, G, patch_size, model_dim});
+  Var patch_mean = nn::Mean(grouped, /*axis=*/2, false);  // [B, G, d]
+  Var patch_ctx = net->patch_attention.Forward(patch_mean);
+  Var up = nn::Reshape(patch_ctx, {B, G, model_dim, 1});
+  up = nn::TransposeLast2(nn::ExpandLastDim(up, patch_size));
+  Var view1 = nn::Reshape(up, {B, L, model_dim});
+
+  // In-patch view: attention across positions inside each patch.
+  Var per_patch = nn::Reshape(h, {B * G, patch_size, model_dim});
+  Var in_ctx = net->in_patch_attention.Forward(per_patch);
+  Var view2 = nn::Reshape(in_ctx, {B, L, model_dim});
+
+  return {nn::L2NormalizeLastDim(view1), nn::L2NormalizeLastDim(view2)};
+}
+
+}  // namespace
+
+Status DcDetector::Fit(const std::vector<double>& train_series) {
+  const int64_t n = static_cast<int64_t>(train_series.size());
+  if (n < options_.window_length * 2) {
+    return Status::InvalidArgument("training series too short for DCdetector");
+  }
+  net_ = std::make_unique<Network>(options_, &rng_);
+  net_->train_mean = Mean(train_series);
+  net_->train_std = std::max(StdDev(train_series), 1e-6);
+
+  const int64_t L = options_.window_length;
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  std::vector<int64_t> order(starts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  nn::Adam optimizer(net_->Parameters(),
+                     static_cast<float>(options_.learning_rate));
+  const int64_t M = static_cast<int64_t>(starts.size());
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (int64_t off = 0; off < M; off += options_.batch_size) {
+      const int64_t count = std::min(options_.batch_size, M - off);
+      std::vector<int64_t> batch_starts;
+      for (int64_t i = 0; i < count; ++i) {
+        batch_starts.push_back(
+            starts[static_cast<size_t>(order[static_cast<size_t>(off + i)])]);
+      }
+      nn::Tensor batch = StackRaw(train_series, batch_starts, L,
+                                  net_->train_mean, net_->train_std);
+      optimizer.ZeroGrad();
+      DualViews views = ForwardViews(net_.get(), batch, options_.patch_size,
+                                     options_.model_dim);
+      // Stop-gradient cross-view agreement (the original's two-sided KL).
+      Var loss = nn::Add(
+          nn::MseLoss(views.patch_wise, nn::Constant(views.in_patch.value())),
+          nn::MseLoss(views.in_patch,
+                      nn::Constant(views.patch_wise.value())));
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> DcDetector::Score(
+    const std::vector<double>& test_series) {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("Score called before Fit");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  const int64_t L = std::min(options_.window_length, n);
+  if (L % options_.patch_size != 0) {
+    return Status::InvalidArgument("test shorter than one patch-aligned window");
+  }
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  WindowScoreAccumulator acc(n);
+  for (int64_t s : starts) {
+    nn::Tensor batch = StackRaw(test_series, {s}, L, net_->train_mean,
+                                net_->train_std);
+    DualViews views = ForwardViews(net_.get(), batch, options_.patch_size,
+                                   options_.model_dim);
+    std::vector<double> scores(static_cast<size_t>(L));
+    const int64_t d = options_.model_dim;
+    for (int64_t t = 0; t < L; ++t) {
+      double dot = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        dot += views.patch_wise.value()[t * d + k] *
+               views.in_patch.value()[t * d + k];
+      }
+      scores[static_cast<size_t>(t)] = 1.0 - dot;
+    }
+    acc.AddPointwise(s, scores);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace triad::baselines

@@ -1,0 +1,50 @@
+#ifndef TRIAD_BASELINES_DCDETECTOR_H_
+#define TRIAD_BASELINES_DCDETECTOR_H_
+
+#include <memory>
+
+#include "baselines/anomaly_detector.h"
+#include "common/rng.h"
+
+namespace triad::baselines {
+
+/// \brief Options for DCdetector-lite (Yang et al., KDD'23).
+struct DcDetectorOptions {
+  int64_t window_length = 64;
+  int64_t stride = 32;
+  int64_t patch_size = 8;    ///< must divide window_length
+  int64_t model_dim = 16;
+  int64_t epochs = 8;
+  int64_t batch_size = 8;
+  double learning_rate = 1e-3;
+  uint64_t seed = 29;
+};
+
+/// \brief DCdetector-lite: dual attention views — patch-level attention
+/// (across patches) and in-patch attention (across positions within a
+/// patch) — trained purely contrastively to agree on normal data. The
+/// anomaly score is the per-timestep disagreement between the two views'
+/// normalized representations: anomalies break the patch-consistency the
+/// model learned.
+class DcDetector : public AnomalyDetector {
+ public:
+  explicit DcDetector(DcDetectorOptions options = DcDetectorOptions());
+  ~DcDetector() override;
+
+  std::string Name() const override { return "DCdetector"; }
+  Status Fit(const std::vector<double>& train_series) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& test_series) override;
+
+  /// Implementation detail, public only so internal helpers can name it.
+  struct Network;
+
+ private:
+  DcDetectorOptions options_;
+  std::unique_ptr<Network> net_;
+  Rng rng_;
+};
+
+}  // namespace triad::baselines
+
+#endif  // TRIAD_BASELINES_DCDETECTOR_H_

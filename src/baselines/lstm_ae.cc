@@ -1,0 +1,162 @@
+#include "baselines/lstm_ae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "nn/optimizer.h"
+#include "signal/windows.h"
+
+namespace triad::baselines {
+
+using nn::Var;
+
+struct LstmAeDetector::Network {
+  Network(int64_t hidden, Rng* rng)
+      : encoder(1, hidden, rng), decoder(hidden, hidden, rng),
+        out(hidden, 1, rng) {}
+
+  std::vector<Var> Parameters() const {
+    std::vector<Var> params = encoder.Parameters();
+    for (const auto& p : decoder.Parameters()) params.push_back(p);
+    for (const auto& p : out.Parameters()) params.push_back(p);
+    return params;
+  }
+
+  nn::Lstm encoder;
+  nn::Lstm decoder;
+  nn::Linear out;
+  double train_mean = 0.0;
+  double train_std = 1.0;
+};
+
+LstmAeDetector::LstmAeDetector(LstmAeOptions options)
+    : options_(options), rng_(options.seed) {}
+
+LstmAeDetector::~LstmAeDetector() = default;
+
+std::string LstmAeDetector::Name() const {
+  return options_.trained ? "LSTM-AE (Trained)" : "LSTM-AE (Random)";
+}
+
+Var LstmAeDetector::Forward(const nn::Tensor& batch) const {
+  const int64_t B = batch.dim(0);
+  const int64_t L = batch.dim(1);
+  const int64_t H = options_.hidden_size;
+  Var x = nn::Constant(batch);
+  Var final_hidden;
+  net_->encoder.Forward(x, &final_hidden);          // [B, H]
+  // Repeat the bottleneck along time for the decoder input.
+  Var rep = nn::Reshape(final_hidden, {B, H, 1});
+  rep = nn::TransposeLast2(nn::ExpandLastDim(rep, L));  // [B, L, H]
+  Var decoded = net_->decoder.Forward(rep);             // [B, L, H]
+  return net_->out.Forward(decoded);                    // [B, L, 1]
+}
+
+namespace {
+
+// Stacks z-scored windows into a [B, L, 1] tensor.
+nn::Tensor StackWindows(const std::vector<double>& series,
+                        const std::vector<int64_t>& starts, int64_t offset,
+                        int64_t count, int64_t L, double mean, double stddev) {
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(count * L));
+  for (int64_t b = 0; b < count; ++b) {
+    const int64_t s = starts[static_cast<size_t>(offset + b)];
+    for (int64_t i = 0; i < L; ++i) {
+      data.push_back(static_cast<float>(
+          (series[static_cast<size_t>(s + i)] - mean) / stddev));
+    }
+  }
+  return nn::Tensor({count, L, 1}, std::move(data));
+}
+
+}  // namespace
+
+Status LstmAeDetector::Fit(const std::vector<double>& train_series) {
+  const int64_t n = static_cast<int64_t>(train_series.size());
+  if (n < options_.window_length * 2) {
+    return Status::InvalidArgument("training series too short for LSTM-AE");
+  }
+  net_ = std::make_unique<Network>(options_.hidden_size, &rng_);
+  net_->train_mean = Mean(train_series);
+  net_->train_std = std::max(StdDev(train_series), 1e-6);
+  if (!options_.trained) return Status::OK();
+
+  const std::vector<int64_t> starts = signal::SlidingWindowStarts(
+      n, options_.window_length, options_.stride);
+  std::vector<int64_t> order(starts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  nn::Adam optimizer(net_->Parameters(),
+                     static_cast<float>(options_.learning_rate));
+  const int64_t M = static_cast<int64_t>(starts.size());
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (int64_t off = 0; off < M; off += options_.batch_size) {
+      const int64_t count = std::min(options_.batch_size, M - off);
+      std::vector<int64_t> batch_starts;
+      for (int64_t i = 0; i < count; ++i) {
+        batch_starts.push_back(
+            starts[static_cast<size_t>(order[static_cast<size_t>(off + i)])]);
+      }
+      nn::Tensor batch = StackWindows(train_series, batch_starts, 0, count,
+                                      options_.window_length, net_->train_mean,
+                                      net_->train_std);
+      optimizer.ZeroGrad();
+      Var recon = Forward(batch);
+      Var loss = nn::MseLoss(recon, nn::Constant(batch));
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> LstmAeDetector::Score(
+    const std::vector<double>& test_series) {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("Score called before Fit");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  const int64_t L = std::min(options_.window_length, n);
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  WindowScoreAccumulator acc(n);
+  for (size_t w = 0; w < starts.size(); ++w) {
+    nn::Tensor batch = StackWindows(test_series, starts, static_cast<int64_t>(w),
+                                    1, L, net_->train_mean, net_->train_std);
+    Var recon = Forward(batch);
+    std::vector<double> errors(static_cast<size_t>(L));
+    for (int64_t i = 0; i < L; ++i) {
+      const double d = recon.value()[i] - batch[i];
+      errors[static_cast<size_t>(i)] = d * d;
+    }
+    acc.AddPointwise(starts[w], errors);
+  }
+  return acc.Finalize();
+}
+
+Result<std::vector<double>> LstmAeDetector::Reconstruct(
+    const std::vector<double>& window) {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("Reconstruct called before Fit");
+  }
+  const int64_t L = static_cast<int64_t>(window.size());
+  std::vector<float> data(window.size());
+  for (size_t i = 0; i < window.size(); ++i) {
+    data[i] = static_cast<float>((window[i] - net_->train_mean) /
+                                 net_->train_std);
+  }
+  Var recon = Forward(nn::Tensor({1, L, 1}, std::move(data)));
+  std::vector<double> out(static_cast<size_t>(L));
+  for (int64_t i = 0; i < L; ++i) {
+    out[static_cast<size_t>(i)] =
+        recon.value()[i] * net_->train_std + net_->train_mean;
+  }
+  return out;
+}
+
+}  // namespace triad::baselines

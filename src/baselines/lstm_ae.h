@@ -1,0 +1,54 @@
+#ifndef TRIAD_BASELINES_LSTM_AE_H_
+#define TRIAD_BASELINES_LSTM_AE_H_
+
+#include <memory>
+
+#include "baselines/anomaly_detector.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace triad::baselines {
+
+/// \brief Options for the LSTM autoencoder benchmark (Kim et al., AAAI'22),
+/// the reliability baseline the paper leans on in Section II-B and Fig. 2.
+struct LstmAeOptions {
+  int64_t window_length = 64;
+  int64_t stride = 32;
+  int64_t hidden_size = 32;
+  int64_t epochs = 10;
+  int64_t batch_size = 8;
+  double learning_rate = 1e-3;
+  /// When false, Fit() only initializes the weights — the "LSTM-AE (Random)"
+  /// variant whose surprising competitiveness motivates rigorous metrics.
+  bool trained = true;
+  uint64_t seed = 11;
+};
+
+/// \brief Single-layer LSTM encoder/decoder reconstructing each window;
+/// anomaly score = per-point reconstruction error averaged over windows.
+class LstmAeDetector : public AnomalyDetector {
+ public:
+  explicit LstmAeDetector(LstmAeOptions options = LstmAeOptions());
+  ~LstmAeDetector() override;
+
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& train_series) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& test_series) override;
+
+  /// Reconstruction of one window (for the Fig. 2 bench).
+  Result<std::vector<double>> Reconstruct(const std::vector<double>& window);
+
+ private:
+  struct Network;
+
+  nn::Var Forward(const nn::Tensor& batch) const;  // [B,L,1] -> [B,L,1]
+
+  LstmAeOptions options_;
+  std::unique_ptr<Network> net_;
+  Rng rng_;
+};
+
+}  // namespace triad::baselines
+
+#endif  // TRIAD_BASELINES_LSTM_AE_H_

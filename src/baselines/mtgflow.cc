@@ -1,0 +1,174 @@
+#include "baselines/mtgflow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "signal/windows.h"
+
+namespace triad::baselines {
+
+using nn::Var;
+
+namespace {
+
+/// One RealNVP affine coupling: the `swap`-selected half is transformed
+/// conditioned on the other half; tanh-bounded log-scales keep the flow
+/// stable.
+struct Coupling {
+  Coupling(int64_t half, int64_t hidden, Rng* rng)
+      : trunk(half, hidden, rng), scale(hidden, half, rng),
+        shift(hidden, half, rng) {}
+
+  // Returns (z, log_det_rows) where log_det_rows is [B].
+  std::pair<Var, Var> Forward(const Var& x, bool swap) const {
+    const int64_t W = x.shape()[1];
+    const int64_t half = W / 2;
+    Var cond = nn::Slice(x, 1, swap ? half : 0, half);
+    Var active = nn::Slice(x, 1, swap ? 0 : half, W - half);
+    Var h = nn::Relu(trunk.Forward(cond));
+    Var s = nn::Tanh(scale.Forward(h));
+    Var t = shift.Forward(h);
+    Var y = nn::Add(nn::Mul(active, nn::Exp(s)), t);
+    Var z = swap ? nn::Concat({y, cond}, 1) : nn::Concat({cond, y}, 1);
+    return {z, nn::Sum(s, /*axis=*/1, false)};
+  }
+
+  std::vector<Var> Parameters() const {
+    std::vector<Var> p = trunk.Parameters();
+    for (const auto& v : scale.Parameters()) p.push_back(v);
+    for (const auto& v : shift.Parameters()) p.push_back(v);
+    return p;
+  }
+
+  nn::Linear trunk, scale, shift;
+};
+
+}  // namespace
+
+struct MtgFlowDetector::Network {
+  Network(const MtgFlowOptions& options, Rng* rng) {
+    for (int64_t k = 0; k < options.num_couplings; ++k) {
+      couplings.emplace_back(options.window_length / 2, options.hidden_dim,
+                             rng);
+    }
+  }
+
+  // Negative log-likelihood per row, [B] (up to the Gaussian constant).
+  Var Nll(const Var& x) const {
+    Var z = x;
+    Var logdet;
+    for (size_t k = 0; k < couplings.size(); ++k) {
+      auto [next, ld] = couplings[k].Forward(z, k % 2 == 1);
+      z = next;
+      logdet = logdet.empty() ? ld : nn::Add(logdet, ld);
+    }
+    Var energy = nn::MulScalar(nn::Sum(nn::Square(z), 1, false), 0.5f);
+    return nn::Sub(energy, logdet);
+  }
+
+  std::vector<Var> Parameters() const {
+    std::vector<Var> out;
+    for (const auto& c : couplings) {
+      for (const auto& p : c.Parameters()) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::vector<Coupling> couplings;
+  double train_mean = 0.0;
+  double train_std = 1.0;
+};
+
+MtgFlowDetector::MtgFlowDetector(MtgFlowOptions options)
+    : options_(options), rng_(options.seed) {
+  TRIAD_CHECK_EQ(options_.window_length % 2, 0);
+}
+
+MtgFlowDetector::~MtgFlowDetector() = default;
+
+namespace {
+
+nn::Tensor StackFlat(const std::vector<double>& series,
+                     const std::vector<int64_t>& starts, int64_t L,
+                     double mean, double stddev) {
+  std::vector<float> data;
+  data.reserve(starts.size() * static_cast<size_t>(L));
+  for (int64_t s : starts) {
+    for (int64_t i = 0; i < L; ++i) {
+      data.push_back(static_cast<float>(
+          (series[static_cast<size_t>(s + i)] - mean) / stddev));
+    }
+  }
+  return nn::Tensor({static_cast<int64_t>(starts.size()), L},
+                    std::move(data));
+}
+
+}  // namespace
+
+Status MtgFlowDetector::Fit(const std::vector<double>& train_series) {
+  const int64_t n = static_cast<int64_t>(train_series.size());
+  if (n < options_.window_length * 4) {
+    return Status::InvalidArgument("training series too short for MTGFlow");
+  }
+  net_ = std::make_unique<Network>(options_, &rng_);
+  net_->train_mean = Mean(train_series);
+  net_->train_std = std::max(StdDev(train_series), 1e-6);
+
+  const std::vector<int64_t> starts = signal::SlidingWindowStarts(
+      n, options_.window_length, options_.stride);
+  std::vector<int64_t> order(starts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  nn::Adam optimizer(net_->Parameters(),
+                     static_cast<float>(options_.learning_rate));
+  const int64_t M = static_cast<int64_t>(starts.size());
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (int64_t off = 0; off < M; off += options_.batch_size) {
+      const int64_t count = std::min(options_.batch_size, M - off);
+      std::vector<int64_t> batch_starts;
+      for (int64_t i = 0; i < count; ++i) {
+        batch_starts.push_back(
+            starts[static_cast<size_t>(order[static_cast<size_t>(off + i)])]);
+      }
+      nn::Tensor batch = StackFlat(train_series, batch_starts,
+                                   options_.window_length, net_->train_mean,
+                                   net_->train_std);
+      optimizer.ZeroGrad();
+      Var loss = nn::MeanAll(net_->Nll(nn::Constant(batch)));
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> MtgFlowDetector::Score(
+    const std::vector<double>& test_series) {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("Score called before Fit");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  const int64_t L = std::min(options_.window_length, n);
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  WindowScoreAccumulator acc(n);
+  for (int64_t s : starts) {
+    nn::Tensor batch = StackFlat(test_series, {s}, L, net_->train_mean,
+                                 net_->train_std);
+    Var nll = net_->Nll(nn::Constant(batch));  // [1]
+    acc.AddWindow(s, L, nll.value()[0]);
+  }
+  // Shift so scores are non-negative (NLL can be negative).
+  std::vector<double> scores = acc.Finalize();
+  const double lo = Min(scores);
+  for (auto& v : scores) v -= lo;
+  return scores;
+}
+
+}  // namespace triad::baselines

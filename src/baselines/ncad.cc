@@ -1,0 +1,196 @@
+#include "baselines/ncad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "signal/windows.h"
+
+namespace triad::baselines {
+
+using nn::Var;
+
+struct NcadDetector::Network {
+  Network(const NcadOptions& options, Rng* rng) {
+    int64_t dilation = 1;
+    int64_t channels = 1;
+    for (int64_t b = 0; b < options.depth; ++b) {
+      blocks.push_back(std::make_unique<nn::DilatedResidualBlock>(
+          channels, options.embed_dim, /*kernel_size=*/3, dilation, rng));
+      channels = options.embed_dim;
+      dilation *= 2;
+    }
+  }
+
+  /// [B, 1, L] -> per-timestep features [B, D, L].
+  Var Features(const Var& x) const {
+    Var h = x;
+    for (const auto& b : blocks) h = b->Forward(h);
+    return h;
+  }
+
+  /// Unit-norm embeddings of the context head and the suspect tail, pooled
+  /// from one forward pass over the full window.
+  std::pair<Var, Var> SplitEmbeddings(const Var& x, int64_t context_len,
+                                      int64_t suspect_len) const {
+    Var h = Features(x);  // [B, D, L]
+    Var ctx = nn::L2NormalizeLastDim(
+        nn::Mean(nn::Slice(h, /*axis=*/2, 0, context_len), 2, false));
+    Var sus = nn::L2NormalizeLastDim(nn::Mean(
+        nn::Slice(h, /*axis=*/2, context_len, suspect_len), 2, false));
+    return {ctx, sus};
+  }
+
+  std::vector<Var> Parameters() const {
+    std::vector<Var> out;
+    for (const auto& b : blocks) {
+      for (const auto& p : b->Parameters()) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::vector<std::unique_ptr<nn::DilatedResidualBlock>> blocks;
+  double train_mean = 0.0;
+  double train_std = 1.0;
+};
+
+NcadDetector::NcadDetector(NcadOptions options)
+    : options_(options), rng_(options.seed) {
+  TRIAD_CHECK_GT(options_.suspect_length, 0);
+  TRIAD_CHECK_LT(options_.suspect_length, options_.window_length);
+}
+
+NcadDetector::~NcadDetector() = default;
+
+namespace {
+
+nn::Tensor StackRaw(const std::vector<std::vector<double>>& windows,
+                    double mean, double stddev) {
+  const int64_t B = static_cast<int64_t>(windows.size());
+  const int64_t L = static_cast<int64_t>(windows[0].size());
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(B * L));
+  for (const auto& w : windows) {
+    for (double v : w) {
+      data.push_back(static_cast<float>((v - mean) / stddev));
+    }
+  }
+  return nn::Tensor({B, 1, L}, std::move(data));
+}
+
+// Squared embedding distance per row: [B, D] x [B, D] -> [B].
+Var SquaredDistance(const Var& a, const Var& b) {
+  return nn::Sum(nn::Square(nn::Sub(a, b)), /*axis=*/1, false);
+}
+
+}  // namespace
+
+Status NcadDetector::Fit(const std::vector<double>& train_series) {
+  const int64_t n = static_cast<int64_t>(train_series.size());
+  const int64_t L = options_.window_length;
+  if (n < 2 * L) {
+    return Status::InvalidArgument("training series too short for NCAD");
+  }
+  net_ = std::make_unique<Network>(options_, &rng_);
+  net_->train_mean = Mean(train_series);
+  net_->train_std = std::max(StdDev(train_series), 1e-6);
+
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  std::vector<int64_t> order(starts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  nn::Adam optimizer(net_->Parameters(),
+                     static_cast<float>(options_.learning_rate));
+  const int64_t M = static_cast<int64_t>(starts.size());
+  const int64_t context_len = L - options_.suspect_length;
+  const double spike_scale = 3.0;
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (int64_t off = 0; off < M; off += options_.batch_size) {
+      const int64_t count = std::min(options_.batch_size, M - off);
+      if (count < 2) break;
+      std::vector<std::vector<double>> full;
+      std::vector<float> labels;
+      for (int64_t i = 0; i < count; ++i) {
+        const int64_t s =
+            starts[static_cast<size_t>(order[static_cast<size_t>(off + i)])];
+        std::vector<double> w(train_series.begin() + s,
+                              train_series.begin() + s + L);
+        // Contextual outlier exposure: inject point outliers into the
+        // suspect tail with probability outlier_probability.
+        float label = 0.0f;
+        if (rng_.Bernoulli(options_.outlier_probability)) {
+          label = 1.0f;
+          const int64_t spikes = rng_.UniformInt(1, 3);
+          for (int64_t k = 0; k < spikes; ++k) {
+            const int64_t pos = rng_.UniformInt(context_len, L - 1);
+            w[static_cast<size_t>(pos)] +=
+                (rng_.Bernoulli(0.5) ? 1.0 : -1.0) * spike_scale *
+                net_->train_std;
+          }
+        }
+        full.push_back(std::move(w));
+        labels.push_back(label);
+      }
+
+      optimizer.ZeroGrad();
+      auto [ctx_emb, suspect_emb] = net_->SplitEmbeddings(
+          nn::Constant(StackRaw(full, net_->train_mean, net_->train_std)),
+          context_len, options_.suspect_length);
+      Var d2 = SquaredDistance(suspect_emb, ctx_emb);  // [B]
+      // p = 1 - exp(-d^2); BCE(p, y):
+      //   y=1 term: -log(1 - exp(-d^2));  y=0 term: -log(exp(-d^2)) = d^2.
+      Var exp_neg = nn::Exp(nn::Neg(d2));
+      Var pos_term = nn::Neg(nn::Log(nn::Sub(
+          nn::Constant(nn::Tensor::Full({static_cast<int64_t>(labels.size())},
+                                        1.0f)),
+          exp_neg)));
+      Var y = nn::Constant(
+          nn::Tensor({static_cast<int64_t>(labels.size())}, labels));
+      Var one_minus_y = nn::Sub(
+          nn::Constant(nn::Tensor::Full({static_cast<int64_t>(labels.size())},
+                                        1.0f)),
+          y);
+      Var loss = nn::MeanAll(
+          nn::Add(nn::Mul(y, pos_term), nn::Mul(one_minus_y, d2)));
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> NcadDetector::Score(
+    const std::vector<double>& test_series) {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("Score called before Fit");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  const int64_t L = std::min(options_.window_length, n);
+  const int64_t context_len = L - options_.suspect_length;
+  if (context_len <= 0) {
+    return Status::InvalidArgument("test series shorter than the context");
+  }
+  // Dense striding so every point appears in some suspect segment.
+  const int64_t stride = std::max<int64_t>(1, options_.suspect_length / 2);
+  WindowScoreAccumulator acc(n);
+  for (int64_t s : signal::SlidingWindowStarts(n, L, stride)) {
+    std::vector<std::vector<double>> full = {std::vector<double>(
+        test_series.begin() + s, test_series.begin() + s + L)};
+    auto [ctx_emb, suspect_emb] = net_->SplitEmbeddings(
+        nn::Constant(StackRaw(full, net_->train_mean, net_->train_std)),
+        context_len, options_.suspect_length);
+    const Var d2 = SquaredDistance(suspect_emb, ctx_emb);
+    // The distance is evidence about the suspect segment only.
+    acc.AddWindow(s + context_len, L - context_len, d2.value()[0]);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace triad::baselines

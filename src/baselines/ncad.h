@@ -1,0 +1,53 @@
+#ifndef TRIAD_BASELINES_NCAD_H_
+#define TRIAD_BASELINES_NCAD_H_
+
+#include <memory>
+
+#include "baselines/anomaly_detector.h"
+#include "common/rng.h"
+
+namespace triad::baselines {
+
+/// \brief Options for NCAD-lite (Carmona et al., IJCAI'22 — the paper's
+/// ref [46]).
+struct NcadOptions {
+  int64_t window_length = 64;
+  int64_t suspect_length = 16;  ///< tail segment being judged
+  int64_t stride = 16;
+  int64_t embed_dim = 16;
+  int64_t depth = 3;
+  int64_t epochs = 8;
+  int64_t batch_size = 8;
+  double learning_rate = 1e-3;
+  double outlier_probability = 0.5;  ///< contextual outlier exposure rate
+  uint64_t seed = 37;
+};
+
+/// \brief NCAD-lite: neural contextual anomaly detection.
+///
+/// A TCN-style encoder embeds both the full window and its context (the
+/// window minus the suspect tail); the anomaly evidence is the embedding
+/// distance between the two. Training uses *contextual outlier exposure*:
+/// synthetic point outliers injected into the suspect segment provide
+/// positive labels for a contrastive binary loss p = 1 - exp(-d^2).
+class NcadDetector : public AnomalyDetector {
+ public:
+  explicit NcadDetector(NcadOptions options = NcadOptions());
+  ~NcadDetector() override;
+
+  std::string Name() const override { return "NCAD"; }
+  Status Fit(const std::vector<double>& train_series) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& test_series) override;
+
+ private:
+  struct Network;
+
+  NcadOptions options_;
+  std::unique_ptr<Network> net_;
+  Rng rng_;
+};
+
+}  // namespace triad::baselines
+
+#endif  // TRIAD_BASELINES_NCAD_H_

@@ -1,0 +1,92 @@
+#include "baselines/spectral_residual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "signal/fft.h"
+#include "signal/windows.h"
+
+namespace triad::baselines {
+
+SpectralResidualDetector::SpectralResidualDetector(
+    SpectralResidualOptions options)
+    : options_(options) {
+  TRIAD_CHECK_GE(options_.smoothing, 1);
+}
+
+Status SpectralResidualDetector::Fit(const std::vector<double>& train_series) {
+  if (train_series.size() < 16) {
+    return Status::InvalidArgument("training series too short");
+  }
+  fitted_ = true;  // training-free method; Fit only validates input
+  return Status::OK();
+}
+
+std::vector<double> SpectralResidualDetector::SaliencyMap(
+    const std::vector<double>& window, int64_t smoothing) {
+  using signal::Complex;
+  const int64_t n = static_cast<int64_t>(window.size());
+  TRIAD_CHECK_GE(n, 8);
+  const std::vector<Complex> spectrum = signal::RealFft(window);
+
+  // Log amplitude, its moving average, and the spectral residual.
+  std::vector<double> log_amp(static_cast<size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    log_amp[static_cast<size_t>(k)] =
+        std::log(std::abs(spectrum[static_cast<size_t>(k)]) + 1e-8);
+  }
+  std::vector<double> residual(static_cast<size_t>(n));
+  const int64_t half = smoothing / 2;
+  for (int64_t k = 0; k < n; ++k) {
+    double avg = 0.0;
+    int64_t count = 0;
+    for (int64_t j = std::max<int64_t>(0, k - half);
+         j <= std::min(n - 1, k + half); ++j) {
+      avg += log_amp[static_cast<size_t>(j)];
+      ++count;
+    }
+    residual[static_cast<size_t>(k)] =
+        log_amp[static_cast<size_t>(k)] - avg / static_cast<double>(count);
+  }
+
+  // Saliency: inverse transform of exp(residual) with the original phase.
+  std::vector<Complex> modified(static_cast<size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    const Complex& s = spectrum[static_cast<size_t>(k)];
+    const double mag = std::abs(s);
+    const Complex phase = mag > 1e-12 ? s / mag : Complex(1.0, 0.0);
+    modified[static_cast<size_t>(k)] =
+        std::exp(residual[static_cast<size_t>(k)]) * phase;
+  }
+  const std::vector<Complex> saliency_c = signal::InverseFft(modified);
+  std::vector<double> saliency(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    saliency[static_cast<size_t>(i)] =
+        std::abs(saliency_c[static_cast<size_t>(i)]);
+  }
+  return saliency;
+}
+
+Result<std::vector<double>> SpectralResidualDetector::Score(
+    const std::vector<double>& test_series) {
+  if (!fitted_) return Status::FailedPrecondition("Score called before Fit");
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  const int64_t L = std::min(options_.window_length, n);
+  WindowScoreAccumulator acc(n);
+  for (int64_t s :
+       signal::SlidingWindowStarts(n, L, options_.stride)) {
+    const std::vector<double> window =
+        signal::ExtractWindow(test_series, s, L);
+    std::vector<double> saliency = SaliencyMap(window, options_.smoothing);
+    // Relative saliency (the SR paper's (S - mean) / mean).
+    double mean = 0.0;
+    for (double v : saliency) mean += v;
+    mean = std::max(mean / static_cast<double>(L), 1e-12);
+    for (auto& v : saliency) v = std::max(0.0, (v - mean) / mean);
+    acc.AddPointwise(s, saliency);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace triad::baselines

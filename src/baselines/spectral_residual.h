@@ -1,0 +1,42 @@
+#ifndef TRIAD_BASELINES_SPECTRAL_RESIDUAL_H_
+#define TRIAD_BASELINES_SPECTRAL_RESIDUAL_H_
+
+#include "baselines/anomaly_detector.h"
+
+namespace triad::baselines {
+
+/// \brief Options for the Spectral Residual detector.
+struct SpectralResidualOptions {
+  int64_t window_length = 128;  ///< per-window saliency computation
+  int64_t stride = 64;
+  int64_t smoothing = 3;        ///< log-amplitude moving-average width
+};
+
+/// \brief Spectral Residual (Ren et al., KDD'19): a training-free classical
+/// detector. The saliency map is the inverse transform of the log-amplitude
+/// spectrum minus its local average (phase preserved); salient points are
+/// those the spectrum cannot "explain". Included as the classical
+/// signal-processing comparator alongside the one-liner detector.
+class SpectralResidualDetector : public AnomalyDetector {
+ public:
+  explicit SpectralResidualDetector(
+      SpectralResidualOptions options = SpectralResidualOptions());
+
+  std::string Name() const override { return "Spectral Residual"; }
+  /// Training-free: only records normalization statistics.
+  Status Fit(const std::vector<double>& train_series) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& test_series) override;
+
+  /// Saliency map of one window (exposed for tests).
+  static std::vector<double> SaliencyMap(const std::vector<double>& window,
+                                         int64_t smoothing);
+
+ private:
+  SpectralResidualOptions options_;
+  bool fitted_ = false;
+};
+
+}  // namespace triad::baselines
+
+#endif  // TRIAD_BASELINES_SPECTRAL_RESIDUAL_H_

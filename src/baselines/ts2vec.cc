@@ -1,0 +1,189 @@
+#include "baselines/ts2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "nn/optimizer.h"
+#include "signal/windows.h"
+
+namespace triad::baselines {
+
+using nn::Var;
+
+struct Ts2VecDetector::Network {
+  Network(const Ts2VecOptions& options, Rng* rng) {
+    int64_t dilation = 1;
+    int64_t channels = 1;
+    for (int64_t b = 0; b < options.depth; ++b) {
+      blocks.push_back(std::make_unique<nn::DilatedResidualBlock>(
+          channels, options.embed_dim, /*kernel_size=*/3, dilation, rng));
+      channels = options.embed_dim;
+      dilation *= 2;
+    }
+  }
+
+  std::vector<Var> Parameters() const {
+    std::vector<Var> out;
+    for (const auto& b : blocks) {
+      for (const auto& p : b->Parameters()) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::vector<std::unique_ptr<nn::DilatedResidualBlock>> blocks;
+  double train_mean = 0.0;
+  double train_std = 1.0;
+};
+
+Ts2VecDetector::Ts2VecDetector(Ts2VecOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Ts2VecDetector::~Ts2VecDetector() = default;
+
+Var Ts2VecDetector::Embed(const nn::Tensor& batch) const {
+  Var h = nn::Constant(batch);                    // [B, 1, L]
+  for (const auto& b : net_->blocks) h = b->Forward(h);
+  h = nn::TransposeLast2(h);                      // [B, L, D]
+  return nn::L2NormalizeLastDim(h);
+}
+
+namespace {
+
+nn::Tensor StackRaw(const std::vector<double>& series,
+                    const std::vector<int64_t>& starts, int64_t L,
+                    double mean, double stddev) {
+  std::vector<float> data;
+  data.reserve(starts.size() * static_cast<size_t>(L));
+  for (int64_t s : starts) {
+    for (int64_t i = 0; i < L; ++i) {
+      data.push_back(static_cast<float>(
+          (series[static_cast<size_t>(s + i)] - mean) / stddev));
+    }
+  }
+  return nn::Tensor({static_cast<int64_t>(starts.size()), 1, L},
+                    std::move(data));
+}
+
+// Identity mask [T, T] as a constant.
+Var IdentityMask(int64_t t) {
+  nn::Tensor m({t, t});
+  for (int64_t i = 0; i < t; ++i) m.at(i, i) = 1.0f;
+  return nn::Constant(std::move(m));
+}
+
+}  // namespace
+
+Status Ts2VecDetector::Fit(const std::vector<double>& train_series) {
+  const int64_t n = static_cast<int64_t>(train_series.size());
+  const int64_t L = options_.window_length;
+  const int64_t half = L / 2;
+  if (n < 2 * L) {
+    return Status::InvalidArgument("training series too short for TS2Vec");
+  }
+  net_ = std::make_unique<Network>(options_, &rng_);
+  net_->train_mean = Mean(train_series);
+  net_->train_std = std::max(StdDev(train_series), 1e-6);
+
+  // Segments of length L + half provide two crops overlapping on `half`.
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L + half, options_.stride);
+  std::vector<int64_t> order(starts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  nn::Adam optimizer(net_->Parameters(),
+                     static_cast<float>(options_.learning_rate));
+  const float inv_temp = 1.0f / static_cast<float>(options_.temperature);
+  const int64_t M = static_cast<int64_t>(starts.size());
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (int64_t off = 0; off < M; off += options_.batch_size) {
+      const int64_t count = std::min(options_.batch_size, M - off);
+      std::vector<int64_t> a_starts, b_starts;
+      for (int64_t i = 0; i < count; ++i) {
+        const int64_t s =
+            starts[static_cast<size_t>(order[static_cast<size_t>(off + i)])];
+        a_starts.push_back(s);         // crop A: [s, s+L)
+        b_starts.push_back(s + half);  // crop B: [s+half, s+half+L)
+      }
+      nn::Tensor batch_a = StackRaw(train_series, a_starts, L,
+                                    net_->train_mean, net_->train_std);
+      nn::Tensor batch_b = StackRaw(train_series, b_starts, L,
+                                    net_->train_mean, net_->train_std);
+
+      optimizer.ZeroGrad();
+      Var ea = Embed(batch_a);  // [B, L, D]
+      Var eb = Embed(batch_b);
+      // Overlap region: A's tail half aligns with B's head half.
+      Var oa = nn::Slice(ea, /*axis=*/1, half, half);  // [B, half, D]
+      Var ob = nn::Slice(eb, /*axis=*/1, 0, half);
+
+      // Temporal contrast: timestamps match across views.
+      Var logits = nn::MulScalar(nn::MatMul(oa, nn::TransposeLast2(ob)),
+                                 inv_temp);            // [B, half, half]
+      Var probs = nn::Softmax(logits);
+      Var diag = nn::Sum(nn::Mul(probs, IdentityMask(half)),
+                         /*axis=*/2, false);           // [B, half]
+      Var loss = nn::Neg(nn::MeanAll(nn::Log(diag)));
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+    }
+  }
+
+  // Train centroid for scoring.
+  centroid_.assign(static_cast<size_t>(options_.embed_dim), 0.0);
+  int64_t total = 0;
+  const std::vector<int64_t> all_starts =
+      signal::SlidingWindowStarts(n, L, L);  // non-overlapping pass
+  for (int64_t s : all_starts) {
+    nn::Tensor batch = StackRaw(train_series, {s}, L, net_->train_mean,
+                                net_->train_std);
+    Var e = Embed(batch);  // [1, L, D]
+    for (int64_t t = 0; t < L; ++t) {
+      for (int64_t d = 0; d < options_.embed_dim; ++d) {
+        centroid_[static_cast<size_t>(d)] +=
+            e.value()[t * options_.embed_dim + d];
+      }
+    }
+    total += L;
+  }
+  for (auto& c : centroid_) c /= std::max<int64_t>(1, total);
+  double norm = 0.0;
+  for (double c : centroid_) norm += c * c;
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (auto& c : centroid_) c /= norm;
+  return Status::OK();
+}
+
+Result<std::vector<double>> Ts2VecDetector::Score(
+    const std::vector<double>& test_series) {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("Score called before Fit");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  const int64_t L = std::min(options_.window_length, n);
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  WindowScoreAccumulator acc(n);
+  for (int64_t s : starts) {
+    nn::Tensor batch = StackRaw(test_series, {s}, L, net_->train_mean,
+                                net_->train_std);
+    Var e = Embed(batch);  // [1, L, D]
+    std::vector<double> scores(static_cast<size_t>(L));
+    for (int64_t t = 0; t < L; ++t) {
+      double dot = 0.0;
+      for (int64_t d = 0; d < options_.embed_dim; ++d) {
+        dot += e.value()[t * options_.embed_dim + d] *
+               centroid_[static_cast<size_t>(d)];
+      }
+      scores[static_cast<size_t>(t)] = 1.0 - dot;
+    }
+    acc.AddPointwise(s, scores);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace triad::baselines

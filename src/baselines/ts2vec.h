@@ -1,0 +1,56 @@
+#ifndef TRIAD_BASELINES_TS2VEC_H_
+#define TRIAD_BASELINES_TS2VEC_H_
+
+#include <memory>
+
+#include "baselines/anomaly_detector.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace triad::baselines {
+
+/// \brief Options for TS2Vec-lite (Yue et al., AAAI'22).
+struct Ts2VecOptions {
+  int64_t window_length = 64;  ///< crop length fed to the encoder
+  int64_t stride = 16;
+  int64_t embed_dim = 16;
+  int64_t depth = 3;           ///< dilated conv blocks
+  int64_t epochs = 8;
+  int64_t batch_size = 8;
+  double learning_rate = 1e-3;
+  double temperature = 0.2;
+  uint64_t seed = 17;
+};
+
+/// \brief TS2Vec-lite: a dilated-conv encoder trained with contextual
+/// contrasting between two overlapping crops — the overlap's timestamps are
+/// positives across views, other timestamps negatives. (The original's
+/// multi-scale hierarchy is collapsed to one scale; see DESIGN.md.)
+///
+/// Anomaly score: cosine distance of each timestep's embedding to the
+/// training embedding centroid.
+class Ts2VecDetector : public AnomalyDetector {
+ public:
+  explicit Ts2VecDetector(Ts2VecOptions options = Ts2VecOptions());
+  ~Ts2VecDetector() override;
+
+  std::string Name() const override { return "TS2Vec"; }
+  Status Fit(const std::vector<double>& train_series) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& test_series) override;
+
+ private:
+  struct Network;
+
+  /// Normalized per-timestep embeddings [B, L, D] of raw windows.
+  nn::Var Embed(const nn::Tensor& batch) const;  // batch: [B, 1, L]
+
+  Ts2VecOptions options_;
+  std::unique_ptr<Network> net_;
+  std::vector<double> centroid_;  ///< mean normalized train embedding
+  Rng rng_;
+};
+
+}  // namespace triad::baselines
+
+#endif  // TRIAD_BASELINES_TS2VEC_H_

@@ -1,0 +1,177 @@
+#include "baselines/usad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/optimizer.h"
+#include "signal/windows.h"
+
+namespace triad::baselines {
+
+using nn::Var;
+
+struct UsadDetector::Network {
+  Network(int64_t in, int64_t latent, Rng* rng)
+      : enc1(in, in / 2, rng), enc2(in / 2, latent, rng),
+        dec1_a(latent, in / 2, rng), dec1_b(in / 2, in, rng),
+        dec2_a(latent, in / 2, rng), dec2_b(in / 2, in, rng) {}
+
+  Var Encode(const Var& w) const {
+    return nn::Relu(enc2.Forward(nn::Relu(enc1.Forward(w))));
+  }
+  Var Decode1(const Var& z) const {
+    return nn::Sigmoid(dec1_b.Forward(nn::Relu(dec1_a.Forward(z))));
+  }
+  Var Decode2(const Var& z) const {
+    return nn::Sigmoid(dec2_b.Forward(nn::Relu(dec2_a.Forward(z))));
+  }
+
+  std::vector<Var> Ae1Parameters() const {
+    std::vector<Var> p = enc1.Parameters();
+    for (const auto& v : enc2.Parameters()) p.push_back(v);
+    for (const auto& v : dec1_a.Parameters()) p.push_back(v);
+    for (const auto& v : dec1_b.Parameters()) p.push_back(v);
+    return p;
+  }
+  std::vector<Var> Ae2Parameters() const {
+    std::vector<Var> p = enc1.Parameters();
+    for (const auto& v : enc2.Parameters()) p.push_back(v);
+    for (const auto& v : dec2_a.Parameters()) p.push_back(v);
+    for (const auto& v : dec2_b.Parameters()) p.push_back(v);
+    return p;
+  }
+
+  nn::Linear enc1, enc2;
+  nn::Linear dec1_a, dec1_b;
+  nn::Linear dec2_a, dec2_b;
+  double train_min = 0.0;
+  double train_max = 1.0;
+};
+
+UsadDetector::UsadDetector(UsadOptions options)
+    : options_(options), rng_(options.seed) {}
+
+UsadDetector::~UsadDetector() = default;
+
+namespace {
+
+// [B, L] tensor of min-max scaled windows (USAD's preprocessing).
+nn::Tensor StackScaled(const std::vector<double>& series,
+                       const std::vector<int64_t>& starts, int64_t L,
+                       double lo, double hi) {
+  const double span = std::max(hi - lo, 1e-9);
+  std::vector<float> data;
+  data.reserve(starts.size() * static_cast<size_t>(L));
+  for (int64_t s : starts) {
+    for (int64_t i = 0; i < L; ++i) {
+      const double v = (series[static_cast<size_t>(s + i)] - lo) / span;
+      data.push_back(static_cast<float>(std::clamp(v, -1.0, 2.0)));
+    }
+  }
+  return nn::Tensor({static_cast<int64_t>(starts.size()), L},
+                    std::move(data));
+}
+
+}  // namespace
+
+Status UsadDetector::Fit(const std::vector<double>& train_series) {
+  const int64_t n = static_cast<int64_t>(train_series.size());
+  if (n < options_.window_length * 2) {
+    return Status::InvalidArgument("training series too short for USAD");
+  }
+  net_ = std::make_unique<Network>(options_.window_length,
+                                   options_.latent_dim, &rng_);
+  net_->train_min = *std::min_element(train_series.begin(), train_series.end());
+  net_->train_max = *std::max_element(train_series.begin(), train_series.end());
+
+  const std::vector<int64_t> starts = signal::SlidingWindowStarts(
+      n, options_.window_length, options_.stride);
+  std::vector<int64_t> order(starts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  nn::Adam opt1(net_->Ae1Parameters(),
+                static_cast<float>(options_.learning_rate));
+  nn::Adam opt2(net_->Ae2Parameters(),
+                static_cast<float>(options_.learning_rate));
+
+  const int64_t M = static_cast<int64_t>(starts.size());
+  for (int64_t epoch = 1; epoch <= options_.epochs; ++epoch) {
+    const float w1 = 1.0f / static_cast<float>(epoch);
+    const float w2 = 1.0f - w1;
+    rng_.Shuffle(&order);
+    for (int64_t off = 0; off < M; off += options_.batch_size) {
+      const int64_t count = std::min(options_.batch_size, M - off);
+      std::vector<int64_t> batch_starts;
+      for (int64_t i = 0; i < count; ++i) {
+        batch_starts.push_back(
+            starts[static_cast<size_t>(order[static_cast<size_t>(off + i)])]);
+      }
+      nn::Tensor batch =
+          StackScaled(train_series, batch_starts, options_.window_length,
+                      net_->train_min, net_->train_max);
+
+      // Phase 1: AE1 reconstructs and fools AE2.
+      {
+        Var w = nn::Constant(batch);
+        Var z = net_->Encode(w);
+        Var r1 = net_->Decode1(z);
+        Var r2p = net_->Decode2(net_->Encode(r1));
+        Var loss1 = nn::Add(nn::MulScalar(nn::MseLoss(w, r1), w1),
+                            nn::MulScalar(nn::MseLoss(w, r2p), w2));
+        opt1.ZeroGrad();
+        opt2.ZeroGrad();
+        loss1.Backward();
+        opt1.ClipGradNorm(5.0f);
+        opt1.Step();
+      }
+      // Phase 2: AE2 reconstructs and discriminates AE1's output.
+      {
+        Var w = nn::Constant(batch);
+        Var z = net_->Encode(w);
+        Var r1 = net_->Decode1(z);
+        Var r2 = net_->Decode2(z);
+        Var r2p = net_->Decode2(net_->Encode(r1));
+        Var loss2 = nn::Sub(nn::MulScalar(nn::MseLoss(w, r2), w1),
+                            nn::MulScalar(nn::MseLoss(w, r2p), w2));
+        opt1.ZeroGrad();
+        opt2.ZeroGrad();
+        loss2.Backward();
+        opt2.ClipGradNorm(5.0f);
+        opt2.Step();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> UsadDetector::Score(
+    const std::vector<double>& test_series) {
+  if (net_ == nullptr) {
+    return Status::FailedPrecondition("Score called before Fit");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  const int64_t L = std::min(options_.window_length, n);
+  const std::vector<int64_t> starts =
+      signal::SlidingWindowStarts(n, L, options_.stride);
+  WindowScoreAccumulator acc(n);
+  for (int64_t s : starts) {
+    nn::Tensor batch = StackScaled(test_series, {s}, L, net_->train_min,
+                                   net_->train_max);
+    Var w = nn::Constant(batch);
+    Var z = net_->Encode(w);
+    Var r1 = net_->Decode1(z);
+    Var r2p = net_->Decode2(net_->Encode(r1));
+    std::vector<double> errors(static_cast<size_t>(L));
+    for (int64_t i = 0; i < L; ++i) {
+      const double e1 = r1.value()[i] - batch[i];
+      const double e2 = r2p.value()[i] - batch[i];
+      errors[static_cast<size_t>(i)] =
+          options_.alpha * e1 * e1 + options_.beta * e2 * e2;
+    }
+    acc.AddPointwise(s, errors);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace triad::baselines

@@ -1,0 +1,49 @@
+#ifndef TRIAD_BASELINES_USAD_H_
+#define TRIAD_BASELINES_USAD_H_
+
+#include <memory>
+
+#include "baselines/anomaly_detector.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace triad::baselines {
+
+/// \brief Options for USAD (Audibert et al., KDD'20).
+struct UsadOptions {
+  int64_t window_length = 64;
+  int64_t stride = 16;
+  int64_t latent_dim = 16;
+  int64_t epochs = 10;
+  int64_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double alpha = 0.5;  ///< weight of ||W - AE1(W)|| in the score
+  double beta = 0.5;   ///< weight of ||W - AE2(AE1(W))|| in the score
+  uint64_t seed = 13;
+};
+
+/// \brief USAD: two autoencoders with a shared encoder trained
+/// adversarially — AE2 learns to discriminate real windows from AE1's
+/// reconstructions, AE1 learns to fool it. The anomaly score combines both
+/// reconstruction errors.
+class UsadDetector : public AnomalyDetector {
+ public:
+  explicit UsadDetector(UsadOptions options = UsadOptions());
+  ~UsadDetector() override;
+
+  std::string Name() const override { return "USAD"; }
+  Status Fit(const std::vector<double>& train_series) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& test_series) override;
+
+ private:
+  struct Network;
+
+  UsadOptions options_;
+  std::unique_ptr<Network> net_;
+  Rng rng_;
+};
+
+}  // namespace triad::baselines
+
+#endif  // TRIAD_BASELINES_USAD_H_

@@ -1,0 +1,50 @@
+#ifndef TRIAD_COMMON_CHECK_H_
+#define TRIAD_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace triad::internal {
+
+/// Aborts the process with a formatted message; used by the check macros for
+/// programming errors (API contract violations), never for data errors.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace triad::internal
+
+/// Aborts if `cond` is false. Always on (benches rely on invariants too);
+/// the predicates used on hot paths are cheap comparisons.
+#define TRIAD_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::triad::internal::CheckFailed(__FILE__, __LINE__, #cond, "");       \
+    }                                                                      \
+  } while (false)
+
+/// Aborts if `cond` is false, with a streamed message:
+/// TRIAD_CHECK_MSG(i < n, "index " << i << " out of range " << n);
+#define TRIAD_CHECK_MSG(cond, stream_expr)                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream _triad_os;                                        \
+      _triad_os << stream_expr;                                            \
+      ::triad::internal::CheckFailed(__FILE__, __LINE__, #cond,            \
+                                     _triad_os.str());                     \
+    }                                                                      \
+  } while (false)
+
+#define TRIAD_CHECK_EQ(a, b) \
+  TRIAD_CHECK_MSG((a) == (b), "expected " << (a) << " == " << (b))
+#define TRIAD_CHECK_NE(a, b) \
+  TRIAD_CHECK_MSG((a) != (b), "expected " << (a) << " != " << (b))
+#define TRIAD_CHECK_LT(a, b) \
+  TRIAD_CHECK_MSG((a) < (b), "expected " << (a) << " < " << (b))
+#define TRIAD_CHECK_LE(a, b) \
+  TRIAD_CHECK_MSG((a) <= (b), "expected " << (a) << " <= " << (b))
+#define TRIAD_CHECK_GT(a, b) \
+  TRIAD_CHECK_MSG((a) > (b), "expected " << (a) << " > " << (b))
+#define TRIAD_CHECK_GE(a, b) \
+  TRIAD_CHECK_MSG((a) >= (b), "expected " << (a) << " >= " << (b))
+
+#endif  // TRIAD_COMMON_CHECK_H_

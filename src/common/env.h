@@ -1,0 +1,21 @@
+#ifndef TRIAD_COMMON_ENV_H_
+#define TRIAD_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace triad {
+
+/// \brief Reads configuration from environment variables.
+///
+/// The bench binaries default to workloads small enough for a laptop-class
+/// single core; these helpers let a user scale them back up toward the
+/// paper's sizes (e.g. `TRIAD_BENCH_DATASETS=250`).
+int64_t GetEnvInt(const std::string& name, int64_t default_value);
+double GetEnvDouble(const std::string& name, double default_value);
+std::string GetEnvString(const std::string& name,
+                         const std::string& default_value);
+
+}  // namespace triad
+
+#endif  // TRIAD_COMMON_ENV_H_

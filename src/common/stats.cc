@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace triad {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+namespace {
+double VarianceSum(const std::vector<double>& v, double mean) {
+  double ss = 0.0;
+  for (double x : v) ss += (x - mean) * (x - mean);
+  return ss;
+}
+}  // namespace
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  return std::sqrt(VarianceSum(v, Mean(v)) / static_cast<double>(v.size()));
+}
+
+double SampleStdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  return std::sqrt(VarianceSum(v, Mean(v)) /
+                   static_cast<double>(v.size() - 1));
+}
+
+double Min(const std::vector<double>& v) {
+  TRIAD_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  TRIAD_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Quantile(std::vector<double> v, double q) {
+  TRIAD_CHECK(!v.empty());
+  TRIAD_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+int64_t ArgMax(const std::vector<double>& v) {
+  TRIAD_CHECK(!v.empty());
+  return static_cast<int64_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+int64_t ArgMin(const std::vector<double>& v) {
+  TRIAD_CHECK(!v.empty());
+  return static_cast<int64_t>(
+      std::min_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace triad

@@ -1,0 +1,36 @@
+#ifndef TRIAD_COMMON_STATS_H_
+#define TRIAD_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace triad {
+
+/// \brief Small descriptive-statistics helpers shared by metrics, signal
+/// processing and the bench harnesses.
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation; returns 0 for fewer than two elements.
+double StdDev(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than two elements.
+double SampleStdDev(const std::vector<double>& v);
+
+/// Minimum / maximum; input must be non-empty.
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Linear-interpolated quantile, q in [0,1]; input must be non-empty.
+double Quantile(std::vector<double> v, double q);
+
+/// Index of the maximum element; input must be non-empty (first on ties).
+int64_t ArgMax(const std::vector<double>& v);
+
+/// Index of the minimum element; input must be non-empty (first on ties).
+int64_t ArgMin(const std::vector<double>& v);
+
+}  // namespace triad
+
+#endif  // TRIAD_COMMON_STATS_H_

@@ -1,0 +1,37 @@
+#ifndef TRIAD_COMMON_TABLE_H_
+#define TRIAD_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace triad {
+
+/// \brief Minimal ASCII table builder used by the bench binaries to print
+/// rows in the same layout as the paper's tables.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to `precision` decimals.
+  static std::string Num(double v, int precision = 3);
+  /// Formats "mean ±sd".
+  static std::string MeanSd(double mean, double sd, int precision = 3);
+
+  /// Renders the table with aligned columns and a header rule.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace triad
+
+#endif  // TRIAD_COMMON_TABLE_H_

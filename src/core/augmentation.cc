@@ -1,0 +1,56 @@
+#include "core/augmentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "signal/butterworth.h"
+
+namespace triad::core {
+
+void JitterSegment(std::vector<double>* window, int64_t begin, int64_t end,
+                   double sigma, Rng* rng) {
+  TRIAD_CHECK(begin >= 0 && end >= begin &&
+              end <= static_cast<int64_t>(window->size()));
+  for (int64_t i = begin; i < end; ++i) {
+    (*window)[static_cast<size_t>(i)] += rng->Normal(0.0, sigma);
+  }
+}
+
+void WarpSegment(std::vector<double>* window, int64_t begin, int64_t end,
+                 double cutoff) {
+  TRIAD_CHECK(begin >= 0 && end >= begin &&
+              end <= static_cast<int64_t>(window->size()));
+  auto filter = signal::ButterworthLowPass::Design(/*order=*/3, cutoff);
+  TRIAD_CHECK_MSG(filter.ok(), filter.status().ToString());
+  const std::vector<double> smooth = filter->FiltFilt(*window);
+  for (int64_t i = begin; i < end; ++i) {
+    (*window)[static_cast<size_t>(i)] = smooth[static_cast<size_t>(i)];
+  }
+}
+
+AugmentationInfo AugmentWindow(std::vector<double>* window, Rng* rng) {
+  const int64_t n = static_cast<int64_t>(window->size());
+  TRIAD_CHECK_GE(n, 8);
+  AugmentationInfo info;
+  const int64_t min_len = std::max<int64_t>(2, n / 8);
+  const int64_t max_len = std::max(min_len, n / 2);
+  const int64_t len = rng->UniformInt(min_len, max_len);
+  info.begin = rng->UniformInt(0, n - len);
+  info.end = info.begin + len;
+
+  if (rng->Bernoulli(0.5)) {
+    info.kind = "jitter";
+    const double scale = std::max(StdDev(*window), 1e-3);
+    info.parameter = rng->Uniform(0.3, 0.6) * scale;
+    JitterSegment(window, info.begin, info.end, info.parameter, rng);
+  } else {
+    info.kind = "warp";
+    info.parameter = rng->Uniform(0.05, 0.15);
+    WarpSegment(window, info.begin, info.end, info.parameter);
+  }
+  return info;
+}
+
+}  // namespace triad::core

@@ -1,0 +1,38 @@
+#ifndef TRIAD_CORE_AUGMENTATION_H_
+#define TRIAD_CORE_AUGMENTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace triad::core {
+
+/// \brief Record of one segment-level augmentation (paper Section III-A).
+struct AugmentationInfo {
+  std::string kind;      ///< "jitter" or "warp"
+  int64_t begin = 0;     ///< segment start within the window
+  int64_t end = 0;       ///< segment end (exclusive)
+  double parameter = 0;  ///< noise sigma or Butterworth cutoff
+};
+
+/// \brief Jitter (Eq. 3): adds i.i.d. Gaussian noise to window[begin, end).
+void JitterSegment(std::vector<double>* window, int64_t begin, int64_t end,
+                   double sigma, Rng* rng);
+
+/// \brief Warp (Eq. 4): replaces window[begin, end) with a zero-phase
+/// Butterworth low-pass filtered version emphasizing the primary
+/// frequencies (the filter runs over the whole window; only the segment is
+/// spliced back).
+void WarpSegment(std::vector<double>* window, int64_t begin, int64_t end,
+                 double cutoff);
+
+/// \brief TriAD's augmentation policy: picks a random segment of random
+/// length/location and applies jitter or warp with random parameters,
+/// returning what was done. The input is modified in place.
+AugmentationInfo AugmentWindow(std::vector<double>* window, Rng* rng);
+
+}  // namespace triad::core
+
+#endif  // TRIAD_CORE_AUGMENTATION_H_

@@ -1,0 +1,491 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <fstream>
+#include <set>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/features.h"
+#include "discord/mass.h"
+#include "nn/serialize.h"
+#include "signal/decompose.h"
+#include "signal/periodogram.h"
+#include "signal/windows.h"
+
+namespace triad::core {
+namespace {
+
+// Windows shorter than this have too little structure for the FFT features.
+constexpr int64_t kMinWindowLength = 16;
+
+// Rejects NaN/Inf inputs up front; they would otherwise silently poison the
+// FFTs, the z-normalizations and the training loss.
+Status ValidateFinite(const std::vector<double>& series, const char* what) {
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (!std::isfinite(series[i])) {
+      std::ostringstream os;
+      os << what << " contains a non-finite value at index " << i;
+      return Status::InvalidArgument(os.str());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> SliceWindows(
+    const std::vector<double>& series, int64_t length, int64_t stride) {
+  std::vector<std::vector<double>> out;
+  for (int64_t s : signal::SlidingWindowStarts(
+           static_cast<int64_t>(series.size()), length, stride)) {
+    out.push_back(signal::ExtractWindow(series, s, length));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool WindowOverlapsRange(int64_t start, int64_t length, int64_t begin,
+                         int64_t end) {
+  return start < end && begin < start + length;
+}
+
+TriadDetector::TriadDetector(TriadConfig config) : config_(config) {}
+
+Status TriadDetector::Fit(const std::vector<double>& train_series) {
+  if (static_cast<int64_t>(train_series.size()) < 4 * kMinWindowLength) {
+    return Status::InvalidArgument("training series too short");
+  }
+  TRIAD_RETURN_NOT_OK(ValidateFinite(train_series, "training series"));
+  train_series_ = train_series;
+  period_ = config_.use_welch_period_estimator
+                ? signal::EstimatePeriodWelch(train_series)
+                : signal::EstimatePeriod(train_series);
+  window_length_ = std::max<int64_t>(
+      kMinWindowLength,
+      static_cast<int64_t>(std::llround(config_.periods_per_window *
+                                        static_cast<double>(period_))));
+  window_length_ =
+      std::min(window_length_, static_cast<int64_t>(train_series.size()) / 2);
+  stride_ = std::max<int64_t>(1, window_length_ / config_.stride_divisor);
+
+  const std::vector<std::vector<double>> windows =
+      SliceWindows(train_series_, window_length_, stride_);
+  if (windows.size() < 2) {
+    return Status::InvalidArgument("training series yields too few windows");
+  }
+
+  Rng rng(config_.seed);
+  model_ = std::make_unique<TriadModel>(config_, &rng);
+  TriadTrainer trainer(config_);
+  auto stats = trainer.Fit(windows, period_, model_.get(), &rng);
+  TRIAD_RETURN_NOT_OK(stats.status());
+  train_stats_ = std::move(stats).value();
+  return Status::OK();
+}
+
+std::vector<std::vector<float>> TriadDetector::EncodeWindows(
+    Domain domain, const std::vector<std::vector<double>>& windows) const {
+  constexpr int64_t kEncodeBatch = 16;
+  const int64_t M = static_cast<int64_t>(windows.size());
+  std::vector<std::vector<float>> reps;
+  reps.reserve(static_cast<size_t>(M));
+  for (int64_t start = 0; start < M; start += kEncodeBatch) {
+    const int64_t count = std::min(kEncodeBatch, M - start);
+    std::vector<std::vector<double>> chunk(
+        windows.begin() + start, windows.begin() + start + count);
+    nn::Var x = nn::Constant(BuildDomainBatch(chunk, domain, period_));
+    nn::Var r = model_->EncodeNormalized(domain, x);
+    const nn::Tensor& value = r.value();
+    const int64_t L = value.dim(1);
+    for (int64_t b = 0; b < count; ++b) {
+      std::vector<float> row(static_cast<size_t>(L));
+      std::copy(value.data() + b * L, value.data() + (b + 1) * L, row.begin());
+      reps.push_back(std::move(row));
+    }
+  }
+  return reps;
+}
+
+Result<DetectionResult> TriadDetector::Detect(
+    const std::vector<double>& test_series) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("Detect called before Fit");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  if (n < window_length_) {
+    return Status::InvalidArgument("test series shorter than one window");
+  }
+  TRIAD_RETURN_NOT_OK(ValidateFinite(test_series, "test series"));
+
+  DetectionResult result;
+  result.window_length = window_length_;
+  result.stride = stride_;
+  result.window_starts = signal::SlidingWindowStarts(n, window_length_, stride_);
+  const int64_t M = static_cast<int64_t>(result.window_starts.size());
+
+  std::vector<std::vector<double>> windows;
+  windows.reserve(static_cast<size_t>(M));
+  for (int64_t s : result.window_starts) {
+    windows.push_back(signal::ExtractWindow(test_series, s, window_length_));
+  }
+
+  // ---- stage 1: encode + tri-window nomination ----
+  Timer timer;
+  const std::vector<Domain> domains = model_->EnabledDomains();
+  std::vector<std::vector<std::vector<float>>> reps;  // [domain][window][L]
+  for (Domain d : domains) reps.push_back(EncodeWindows(d, windows));
+  result.encode_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  for (size_t di = 0; di < domains.size(); ++di) {
+    const auto& r = reps[di];
+    std::vector<double> sim(static_cast<size_t>(M), 0.0);
+    for (int64_t i = 0; i < M; ++i) {
+      double total = 0.0;
+      for (int64_t j = 0; j < M; ++j) {
+        if (i == j) continue;
+        double dot = 0.0;
+        const auto& a = r[static_cast<size_t>(i)];
+        const auto& b = r[static_cast<size_t>(j)];
+        for (size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
+        total += dot;
+      }
+      sim[static_cast<size_t>(i)] =
+          M > 1 ? total / static_cast<double>(M - 1) : 0.0;
+    }
+    result.candidate_windows.push_back(ArgMin(sim));
+    result.domain_similarity.push_back(std::move(sim));
+  }
+  result.tri_window_seconds = timer.ElapsedSeconds();
+
+  // ---- stage 2: single-window selection against the training data ----
+  timer.Reset();
+  std::set<int64_t> unique_candidates(result.candidate_windows.begin(),
+                                      result.candidate_windows.end());
+  int64_t selected = *unique_candidates.begin();
+  double best_deviation = -1.0;
+  for (int64_t cand : unique_candidates) {
+    const std::vector<double>& w = windows[static_cast<size_t>(cand)];
+    const std::vector<double> profile =
+        discord::MassDistanceProfile(train_series_, w);
+    const double nearest = *std::min_element(profile.begin(), profile.end());
+    if (nearest > best_deviation) {
+      best_deviation = nearest;
+      selected = cand;
+    }
+  }
+  result.selected_window = selected;
+  result.selection_seconds = timer.ElapsedSeconds();
+
+  // ---- stage 3: MERLIN discord search around the selected window ----
+  timer.Reset();
+  const int64_t w_start = result.window_starts[static_cast<size_t>(selected)];
+  const int64_t pad = static_cast<int64_t>(std::llround(
+      config_.merlin_padding_windows * static_cast<double>(window_length_)));
+  result.search_begin = std::max<int64_t>(0, w_start - pad);
+  result.search_end = std::min(n, w_start + window_length_ + pad);
+  const std::vector<double> region(
+      test_series.begin() + result.search_begin,
+      test_series.begin() + result.search_end);
+  const int64_t region_len = result.search_end - result.search_begin;
+  const int64_t max_len = std::min<int64_t>(
+      region_len / 2 - 1,
+      static_cast<int64_t>(std::llround(config_.merlin_max_length_windows *
+                                        static_cast<double>(window_length_))));
+  if (max_len >= config_.merlin_min_length) {
+    auto merlin = discord::Merlin(region, config_.merlin_min_length, max_len,
+                                  config_.merlin_length_step);
+    TRIAD_RETURN_NOT_OK(merlin.status());
+    for (discord::Discord d : merlin.value().discords) {
+      d.position += result.search_begin;  // translate to test coordinates
+      result.discords.push_back(d);
+    }
+  }
+  result.discord_seconds = timer.ElapsedSeconds();
+
+  // ---- stage 4: voting (Eq. 8) + exception rule (Section IV-G) ----
+  VotingResult votes = RunVoting(n, {{w_start, window_length_}},
+                                 result.discords, config_.voting);
+  result.votes = std::move(votes.votes);
+  result.vote_threshold = votes.threshold;
+  result.predictions = std::move(votes.predictions);
+  result.exception_applied = votes.exception_applied;
+  return result;
+}
+
+Result<DetectionResult> TriadDetector::DetectEvents(
+    const std::vector<double>& test_series, int64_t max_events) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("DetectEvents called before Fit");
+  }
+  if (max_events < 1) {
+    return Status::InvalidArgument("max_events must be >= 1");
+  }
+  const int64_t n = static_cast<int64_t>(test_series.size());
+  if (n < window_length_) {
+    return Status::InvalidArgument("test series shorter than one window");
+  }
+
+  DetectionResult result;
+  result.window_length = window_length_;
+  result.stride = stride_;
+  result.window_starts =
+      signal::SlidingWindowStarts(n, window_length_, stride_);
+  const int64_t M = static_cast<int64_t>(result.window_starts.size());
+
+  std::vector<std::vector<double>> windows;
+  windows.reserve(static_cast<size_t>(M));
+  for (int64_t s : result.window_starts) {
+    windows.push_back(signal::ExtractWindow(test_series, s, window_length_));
+  }
+
+  // Encode + per-domain similarity ranking; each domain nominates its
+  // `max_events` least-similar windows.
+  Timer timer;
+  const std::vector<Domain> domains = model_->EnabledDomains();
+  std::set<int64_t> pool;
+  for (Domain d : domains) {
+    const std::vector<std::vector<float>> reps = EncodeWindows(d, windows);
+    std::vector<double> sim(static_cast<size_t>(M), 0.0);
+    for (int64_t i = 0; i < M; ++i) {
+      double total = 0.0;
+      for (int64_t j = 0; j < M; ++j) {
+        if (i == j) continue;
+        double dot = 0.0;
+        const auto& a = reps[static_cast<size_t>(i)];
+        const auto& b = reps[static_cast<size_t>(j)];
+        for (size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
+        total += dot;
+      }
+      sim[static_cast<size_t>(i)] =
+          M > 1 ? total / static_cast<double>(M - 1) : 0.0;
+    }
+    std::vector<int64_t> order(static_cast<size_t>(M));
+    for (int64_t i = 0; i < M; ++i) order[static_cast<size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return sim[static_cast<size_t>(a)] < sim[static_cast<size_t>(b)];
+    });
+    for (int64_t z = 0; z < std::min(max_events, M); ++z) {
+      pool.insert(order[static_cast<size_t>(z)]);
+    }
+    result.candidate_windows.push_back(order[0]);
+    result.domain_similarity.push_back(std::move(sim));
+  }
+  result.encode_seconds = timer.ElapsedSeconds();
+
+  // Rank the pool by deviation from the training data and greedily keep up
+  // to max_events non-overlapping windows.
+  timer.Reset();
+  std::vector<std::pair<double, int64_t>> ranked;  // (-deviation, index)
+  for (int64_t cand : pool) {
+    const std::vector<double> profile = discord::MassDistanceProfile(
+        train_series_, windows[static_cast<size_t>(cand)]);
+    ranked.emplace_back(-*std::min_element(profile.begin(), profile.end()),
+                        cand);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int64_t> selected;
+  for (const auto& [neg_dev, cand] : ranked) {
+    bool overlaps = false;
+    for (int64_t s : selected) {
+      overlaps = overlaps ||
+                 std::llabs(result.window_starts[static_cast<size_t>(cand)] -
+                            result.window_starts[static_cast<size_t>(s)]) <
+                     window_length_;
+    }
+    if (!overlaps) selected.push_back(cand);
+    if (static_cast<int64_t>(selected.size()) >= max_events) break;
+  }
+  result.selected_window = selected.empty() ? -1 : selected.front();
+  result.selection_seconds = timer.ElapsedSeconds();
+
+  // Discord search around every selected window.
+  timer.Reset();
+  std::vector<WindowVote> window_votes;
+  const int64_t pad = static_cast<int64_t>(std::llround(
+      config_.merlin_padding_windows * static_cast<double>(window_length_)));
+  for (int64_t cand : selected) {
+    const int64_t w_start =
+        result.window_starts[static_cast<size_t>(cand)];
+    window_votes.push_back({w_start, window_length_});
+    const int64_t begin = std::max<int64_t>(0, w_start - pad);
+    const int64_t end = std::min(n, w_start + window_length_ + pad);
+    if (cand == result.selected_window) {
+      result.search_begin = begin;
+      result.search_end = end;
+    }
+    const std::vector<double> region(test_series.begin() + begin,
+                                     test_series.begin() + end);
+    const int64_t region_len = end - begin;
+    const int64_t max_len = std::min<int64_t>(
+        region_len / 2 - 1,
+        static_cast<int64_t>(std::llround(
+            config_.merlin_max_length_windows *
+            static_cast<double>(window_length_))));
+    if (max_len < config_.merlin_min_length) continue;
+    auto merlin = discord::Merlin(region, config_.merlin_min_length, max_len,
+                                  config_.merlin_length_step);
+    TRIAD_RETURN_NOT_OK(merlin.status());
+    for (discord::Discord d : merlin.value().discords) {
+      d.position += begin;
+      result.discords.push_back(d);
+    }
+  }
+  result.discord_seconds = timer.ElapsedSeconds();
+
+  VotingResult votes =
+      RunVoting(n, window_votes, result.discords, config_.voting);
+  result.votes = std::move(votes.votes);
+  result.vote_threshold = votes.threshold;
+  result.predictions = std::move(votes.predictions);
+  result.exception_applied = votes.exception_applied;
+  return result;
+}
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'T', 'R', 'D', 'T'};
+constexpr uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteConfig(std::ostream& out, const TriadConfig& c) {
+  WritePod(out, c.periods_per_window);
+  WritePod(out, c.stride_divisor);
+  WritePod(out, c.depth);
+  WritePod(out, c.hidden_dim);
+  WritePod(out, c.kernel_size);
+  WritePod(out, c.alpha);
+  WritePod(out, c.temperature);
+  WritePod(out, c.batch_size);
+  WritePod(out, c.learning_rate);
+  WritePod(out, c.epochs);
+  WritePod(out, c.validation_fraction);
+  WritePod(out, c.seed);
+  WritePod(out, static_cast<uint8_t>(c.use_temporal));
+  WritePod(out, static_cast<uint8_t>(c.use_frequency));
+  WritePod(out, static_cast<uint8_t>(c.use_residual));
+  WritePod(out, static_cast<uint8_t>(c.use_intra_loss));
+  WritePod(out, static_cast<uint8_t>(c.use_inter_loss));
+  WritePod(out, c.top_windows_per_domain);
+  WritePod(out, c.merlin_padding_windows);
+  WritePod(out, c.merlin_min_length);
+  WritePod(out, c.merlin_max_length_windows);
+  WritePod(out, c.merlin_length_step);
+  WritePod(out, static_cast<uint8_t>(c.voting.weighting));
+  WritePod(out, static_cast<uint8_t>(c.voting.threshold_rule));
+  WritePod(out, c.voting.threshold_quantile);
+  WritePod(out, static_cast<uint8_t>(c.use_welch_period_estimator));
+}
+
+bool ReadConfig(std::istream& in, TriadConfig* c) {
+  uint8_t b1, b2, b3, b4, b5;
+  const bool ok =
+      ReadPod(in, &c->periods_per_window) && ReadPod(in, &c->stride_divisor) &&
+      ReadPod(in, &c->depth) && ReadPod(in, &c->hidden_dim) &&
+      ReadPod(in, &c->kernel_size) && ReadPod(in, &c->alpha) &&
+      ReadPod(in, &c->temperature) && ReadPod(in, &c->batch_size) &&
+      ReadPod(in, &c->learning_rate) && ReadPod(in, &c->epochs) &&
+      ReadPod(in, &c->validation_fraction) && ReadPod(in, &c->seed) &&
+      ReadPod(in, &b1) && ReadPod(in, &b2) && ReadPod(in, &b3) &&
+      ReadPod(in, &b4) && ReadPod(in, &b5) &&
+      ReadPod(in, &c->top_windows_per_domain) &&
+      ReadPod(in, &c->merlin_padding_windows) &&
+      ReadPod(in, &c->merlin_min_length) &&
+      ReadPod(in, &c->merlin_max_length_windows) &&
+      ReadPod(in, &c->merlin_length_step);
+  if (!ok) return false;
+  c->use_temporal = b1 != 0;
+  c->use_frequency = b2 != 0;
+  c->use_residual = b3 != 0;
+  c->use_intra_loss = b4 != 0;
+  c->use_inter_loss = b5 != 0;
+  uint8_t weighting, rule, welch;
+  if (!ReadPod(in, &weighting) || weighting > 2 || !ReadPod(in, &rule) ||
+      rule > 1 || !ReadPod(in, &c->voting.threshold_quantile) ||
+      !ReadPod(in, &welch)) {
+    return false;
+  }
+  c->voting.weighting = static_cast<VoteWeighting>(weighting);
+  c->voting.threshold_rule = static_cast<ThresholdRule>(rule);
+  c->use_welch_period_estimator = welch != 0;
+  return true;
+}
+
+}  // namespace
+
+Status TriadDetector::Save(const std::string& path) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("Save called before Fit");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  WritePod(out, kCheckpointVersion);
+  WriteConfig(out, config_);
+  WritePod(out, period_);
+  WritePod(out, window_length_);
+  WritePod(out, stride_);
+  WritePod(out, static_cast<uint64_t>(train_series_.size()));
+  out.write(reinterpret_cast<const char*>(train_series_.data()),
+            static_cast<std::streamsize>(train_series_.size() *
+                                         sizeof(double)));
+  std::vector<nn::Tensor> weights;
+  for (const nn::Var& p : model_->Parameters()) weights.push_back(p.value());
+  TRIAD_RETURN_NOT_OK(nn::WriteTensors(out, weights));
+  if (!out) return Status::IoError("checkpoint write failed for " + path);
+  return Status::OK();
+}
+
+Result<TriadDetector> TriadDetector::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not a TriAD checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  TriadConfig config;
+  if (!ReadConfig(in, &config)) {
+    return Status::InvalidArgument("corrupt checkpoint config");
+  }
+  TriadDetector detector(config);
+  uint64_t train_size = 0;
+  if (!ReadPod(in, &detector.period_) ||
+      !ReadPod(in, &detector.window_length_) ||
+      !ReadPod(in, &detector.stride_) || !ReadPod(in, &train_size) ||
+      train_size > (1ull << 32)) {
+    return Status::InvalidArgument("corrupt checkpoint header");
+  }
+  detector.train_series_.resize(static_cast<size_t>(train_size));
+  in.read(reinterpret_cast<char*>(detector.train_series_.data()),
+          static_cast<std::streamsize>(train_size * sizeof(double)));
+  if (!in) return Status::IoError("checkpoint truncated: " + path);
+
+  Rng rng(config.seed);
+  detector.model_ = std::make_unique<TriadModel>(config, &rng);
+  TRIAD_ASSIGN_OR_RETURN(std::vector<nn::Tensor> weights,
+                         nn::ReadTensors(in));
+  TRIAD_RETURN_NOT_OK(
+      nn::AssignParameters(weights, detector.model_->Parameters()));
+  return detector;
+}
+
+}  // namespace triad::core

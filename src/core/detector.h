@@ -1,0 +1,119 @@
+#ifndef TRIAD_CORE_DETECTOR_H_
+#define TRIAD_CORE_DETECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "discord/discord.h"
+
+namespace triad::core {
+
+/// \brief Everything a TriAD inference pass produces, including the
+/// intermediate artifacts the paper's case study (Figs. 10-13) visualizes.
+struct DetectionResult {
+  /// Final 0/1 point predictions over the test series.
+  std::vector<int> predictions;
+
+  // --- interpretability artifacts ---
+  int64_t window_length = 0;
+  int64_t stride = 0;
+  std::vector<int64_t> window_starts;
+  /// Mean pairwise cosine similarity of each window, one row per enabled
+  /// domain (Fig. 11); lower = more deviant.
+  std::vector<std::vector<double>> domain_similarity;
+  /// Candidate window index nominated by each enabled domain (tri-window).
+  std::vector<int64_t> candidate_windows;
+  /// The single most suspicious window (index into window_starts).
+  int64_t selected_window = -1;
+  /// Padded MERLIN search region, test coordinates (Fig. 7 numerator).
+  int64_t search_begin = 0;
+  int64_t search_end = 0;
+  /// Variable-length discords found in the region, test coordinates.
+  std::vector<discord::Discord> discords;
+  /// Per-point votes (Eq. 8) and the threshold delta used.
+  std::vector<double> votes;
+  double vote_threshold = 0.0;
+  /// Whether the Fig. 15 exception (discords missed the window) fired.
+  bool exception_applied = false;
+
+  // --- stage timings in seconds (Section III-E, Table IV) ---
+  double encode_seconds = 0.0;
+  double tri_window_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double discord_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return encode_seconds + tri_window_seconds + selection_seconds +
+           discord_seconds;
+  }
+};
+
+/// \brief The end-to-end TriAD anomaly detector.
+///
+/// Usage:
+///   TriadDetector detector(config);
+///   TRIAD_RETURN_NOT_OK(detector.Fit(train));   // normal data only
+///   auto result = detector.Detect(test);
+class TriadDetector {
+ public:
+  explicit TriadDetector(TriadConfig config = TriadConfig());
+
+  /// Estimates the period, slices windows of ~2.5 periods (stride L/4),
+  /// and trains the tri-domain contrastive model on the training series.
+  Status Fit(const std::vector<double>& train_series);
+
+  /// Runs the full inference pipeline of Section III-D on a test series
+  /// containing (at most) one anomaly event.
+  Result<DetectionResult> Detect(const std::vector<double>& test_series) const;
+
+  /// \brief Multi-event extension beyond the paper's single-event protocol.
+  ///
+  /// Nominates up to `max_events` non-overlapping suspicious windows (ranked
+  /// by deviation from the training data), runs the discord search around
+  /// each, and merges the votes. With max_events = 1 this matches Detect().
+  Result<DetectionResult> DetectEvents(const std::vector<double>& test_series,
+                                       int64_t max_events) const;
+
+  /// Writes a fitted detector (config, segmentation state, training series
+  /// and model weights) to a binary checkpoint.
+  Status Save(const std::string& path) const;
+
+  /// Restores a detector saved by Save(); ready to Detect() immediately.
+  static Result<TriadDetector> Load(const std::string& path);
+
+  int64_t period() const { return period_; }
+  int64_t window_length() const { return window_length_; }
+  int64_t stride() const { return stride_; }
+  const TrainStats& train_stats() const { return train_stats_; }
+  const TriadModel& model() const { return *model_; }
+  const TriadConfig& config() const { return config_; }
+
+ private:
+  /// Normalized representations of the given raw windows for one domain,
+  /// encoded in mini-batches; rows are unit vectors of length L.
+  std::vector<std::vector<float>> EncodeWindows(
+      Domain domain, const std::vector<std::vector<double>>& windows) const;
+
+  TriadConfig config_;
+  std::unique_ptr<TriadModel> model_;
+  TrainStats train_stats_;
+  std::vector<double> train_series_;
+  int64_t period_ = 0;
+  int64_t window_length_ = 0;
+  int64_t stride_ = 0;
+};
+
+/// True when window [start, start + length) overlaps [begin, end).
+bool WindowOverlapsRange(int64_t start, int64_t length, int64_t begin,
+                         int64_t end);
+
+}  // namespace triad::core
+
+#endif  // TRIAD_CORE_DETECTOR_H_

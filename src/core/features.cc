@@ -1,0 +1,82 @@
+#include "core/features.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "signal/decompose.h"
+#include "signal/spectral.h"
+#include "signal/windows.h"
+
+namespace triad::core {
+
+const char* DomainToString(Domain d) {
+  switch (d) {
+    case Domain::kTemporal:
+      return "temporal";
+    case Domain::kFrequency:
+      return "frequency";
+    case Domain::kResidual:
+      return "residual";
+  }
+  return "unknown";
+}
+
+int64_t DomainChannels(Domain d) {
+  return d == Domain::kFrequency ? 3 : 1;
+}
+
+namespace {
+
+void AppendAsFloat(const std::vector<double>& src, std::vector<float>* dst) {
+  for (double v : src) dst->push_back(static_cast<float>(v));
+}
+
+}  // namespace
+
+std::vector<float> ExtractDomainFeatures(const std::vector<double>& window,
+                                         Domain domain, int64_t period) {
+  const int64_t L = static_cast<int64_t>(window.size());
+  TRIAD_CHECK_GE(L, 4);
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(DomainChannels(domain) * L));
+
+  switch (domain) {
+    case Domain::kTemporal: {
+      AppendAsFloat(signal::ZNormalized(window), &out);
+      break;
+    }
+    case Domain::kFrequency: {
+      const signal::SpectralFeatures spec =
+          signal::ComputeSpectralFeatures(signal::ZNormalized(window));
+      AppendAsFloat(signal::ZNormalized(spec.amplitude), &out);
+      AppendAsFloat(signal::ZNormalized(spec.phase), &out);
+      AppendAsFloat(signal::ZNormalized(spec.power), &out);
+      break;
+    }
+    case Domain::kResidual: {
+      const int64_t p = std::clamp<int64_t>(period, 2, L);
+      AppendAsFloat(
+          signal::ZNormalized(signal::ResidualComponent(window, p)), &out);
+      break;
+    }
+  }
+  return out;
+}
+
+nn::Tensor BuildDomainBatch(const std::vector<std::vector<double>>& windows,
+                            Domain domain, int64_t period) {
+  TRIAD_CHECK(!windows.empty());
+  const int64_t B = static_cast<int64_t>(windows.size());
+  const int64_t C = DomainChannels(domain);
+  const int64_t L = static_cast<int64_t>(windows[0].size());
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(B * C * L));
+  for (const auto& w : windows) {
+    TRIAD_CHECK_EQ(static_cast<int64_t>(w.size()), L);
+    const std::vector<float> f = ExtractDomainFeatures(w, domain, period);
+    data.insert(data.end(), f.begin(), f.end());
+  }
+  return nn::Tensor({B, C, L}, std::move(data));
+}
+
+}  // namespace triad::core

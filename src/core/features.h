@@ -1,0 +1,38 @@
+#ifndef TRIAD_CORE_FEATURES_H_
+#define TRIAD_CORE_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace triad::core {
+
+/// \brief The three feature domains of TriAD (paper Section III-B).
+enum class Domain { kTemporal = 0, kFrequency = 1, kResidual = 2 };
+
+const char* DomainToString(Domain d);
+
+/// Input channel count per domain: temporal/residual are univariate,
+/// frequency stacks the Table-I amplitude/phase/power channels.
+int64_t DomainChannels(Domain d);
+
+/// \brief Per-window feature extraction.
+///
+/// * temporal: the z-normalized raw window (1 x L);
+/// * frequency: z-normalized spectral amplitude/phase/power (3 x L);
+/// * residual: z-normalized remainder after removing the window's periodic
+///   trend and seasonality at the given period (1 x L).
+///
+/// Output is a flat row-major [C, L] float buffer ready to stack into a
+/// batch tensor.
+std::vector<float> ExtractDomainFeatures(const std::vector<double>& window,
+                                         Domain domain, int64_t period);
+
+/// Stacks per-window features into a [B, C, L] batch tensor.
+nn::Tensor BuildDomainBatch(const std::vector<std::vector<double>>& windows,
+                            Domain domain, int64_t period);
+
+}  // namespace triad::core
+
+#endif  // TRIAD_CORE_FEATURES_H_

@@ -1,0 +1,86 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace triad::core {
+
+StreamingTriad::StreamingTriad(const TriadDetector* detector,
+                               StreamingOptions options)
+    : detector_(detector) {
+  TRIAD_CHECK(detector != nullptr);
+  TRIAD_CHECK_GT(detector->window_length(), 0);
+  buffer_length_ = options.buffer_length > 0
+                       ? options.buffer_length
+                       : 4 * detector->window_length();
+  buffer_length_ = std::max(buffer_length_, detector->window_length());
+  hop_ = options.hop > 0 ? options.hop : detector->stride();
+  TRIAD_CHECK_GE(hop_, 1);
+  buffer_.reserve(static_cast<size_t>(buffer_length_));
+}
+
+Result<std::vector<AlarmEvent>> StreamingTriad::Append(
+    const std::vector<double>& points) {
+  std::vector<AlarmEvent> new_events;
+  for (double value : points) {
+    // Slide the buffer.
+    if (static_cast<int64_t>(buffer_.size()) == buffer_length_) {
+      buffer_.erase(buffer_.begin());
+      ++buffer_global_start_;
+    }
+    buffer_.push_back(value);
+    ++total_points_;
+    ++since_last_pass_;
+    alarms_.push_back(0);
+
+    const bool buffer_full =
+        static_cast<int64_t>(buffer_.size()) >= buffer_length_;
+    if (!buffer_full || since_last_pass_ < hop_) continue;
+    since_last_pass_ = 0;
+
+    TRIAD_ASSIGN_OR_RETURN(DetectionResult result,
+                           detector_->Detect(buffer_));
+    ++passes_;
+
+    // Merge flagged points into the global timeline; collect spans that
+    // are newly alarmed.
+    int64_t span_begin = -1;
+    for (size_t i = 0; i < result.predictions.size(); ++i) {
+      const int64_t global =
+          buffer_global_start_ + static_cast<int64_t>(i);
+      const bool flagged = result.predictions[i] != 0;
+      const bool was_alarmed = alarms_[static_cast<size_t>(global)] != 0;
+      if (flagged) alarms_[static_cast<size_t>(global)] = 1;
+      if (flagged && !was_alarmed) {
+        if (span_begin < 0) span_begin = global;
+      } else if (span_begin >= 0) {
+        new_events.push_back({span_begin, global});
+        span_begin = -1;
+      }
+    }
+    if (span_begin >= 0) {
+      new_events.push_back(
+          {span_begin,
+           buffer_global_start_ +
+               static_cast<int64_t>(result.predictions.size())});
+    }
+  }
+
+  // Merge adjacent/overlapping spans reported across passes.
+  std::sort(new_events.begin(), new_events.end(),
+            [](const AlarmEvent& a, const AlarmEvent& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<AlarmEvent> merged;
+  for (const AlarmEvent& e : new_events) {
+    if (!merged.empty() && e.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, e.end);
+    } else {
+      merged.push_back(e);
+    }
+  }
+  return merged;
+}
+
+}  // namespace triad::core

@@ -1,0 +1,70 @@
+#ifndef TRIAD_CORE_STREAMING_H_
+#define TRIAD_CORE_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/detector.h"
+
+namespace triad::core {
+
+/// \brief A contiguous alarm span in global stream coordinates.
+struct AlarmEvent {
+  int64_t begin = 0;  ///< inclusive
+  int64_t end = 0;    ///< exclusive
+};
+
+/// \brief Options for StreamingTriad.
+struct StreamingOptions {
+  /// Points scored per inference pass; 0 = 4 windows of the detector.
+  int64_t buffer_length = 0;
+  /// New points between passes; 0 = one detector stride.
+  int64_t hop = 0;
+};
+
+/// \brief Online wrapper around a fitted TriadDetector for the real-time
+/// IIoT deployments the paper's related work targets (e.g. TinyAD).
+///
+/// Points are appended as they arrive; every `hop` new points the detector
+/// scores the most recent `buffer_length` points and merges the flagged
+/// points into a global alarm timeline. Memory is bounded by the buffer:
+/// the wrapper never retains more than `buffer_length` raw samples.
+class StreamingTriad {
+ public:
+  /// `detector` must outlive this object and already be fitted.
+  explicit StreamingTriad(const TriadDetector* detector,
+                          StreamingOptions options = StreamingOptions());
+
+  /// Feeds points into the stream. Runs zero or more inference passes and
+  /// returns alarm events that became active during this call (merged,
+  /// global coordinates).
+  Result<std::vector<AlarmEvent>> Append(const std::vector<double>& points);
+
+  /// The global 0/1 alarm timeline over everything appended so far.
+  const std::vector<int>& alarms() const { return alarms_; }
+
+  /// Total points consumed.
+  int64_t total_points() const { return total_points_; }
+
+  /// Number of inference passes executed.
+  int64_t passes() const { return passes_; }
+
+  int64_t buffer_length() const { return buffer_length_; }
+  int64_t hop() const { return hop_; }
+
+ private:
+  const TriadDetector* detector_;
+  int64_t buffer_length_;
+  int64_t hop_;
+  std::vector<double> buffer_;      ///< most recent <= buffer_length_ points
+  int64_t buffer_global_start_ = 0; ///< global index of buffer_[0]
+  int64_t since_last_pass_ = 0;
+  int64_t total_points_ = 0;
+  int64_t passes_ = 0;
+  std::vector<int> alarms_;
+};
+
+}  // namespace triad::core
+
+#endif  // TRIAD_CORE_STREAMING_H_

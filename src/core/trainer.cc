@@ -1,0 +1,100 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/augmentation.h"
+#include "core/features.h"
+#include "nn/optimizer.h"
+
+namespace triad::core {
+namespace {
+
+using nn::Var;
+
+// Builds normalized representations of originals and augmentations for one
+// batch, returning the scalar loss Var.
+Var BatchLoss(const TriadModel& model,
+              const std::vector<std::vector<double>>& originals,
+              int64_t period, Rng* rng) {
+  std::vector<std::vector<double>> augmented = originals;
+  for (auto& w : augmented) AugmentWindow(&w, rng);
+
+  std::vector<Var> orig_norms;
+  std::vector<Var> aug_norms;
+  for (Domain d : model.EnabledDomains()) {
+    Var xo = nn::Constant(BuildDomainBatch(originals, d, period));
+    Var xa = nn::Constant(BuildDomainBatch(augmented, d, period));
+    orig_norms.push_back(model.EncodeNormalized(d, xo));
+    aug_norms.push_back(model.EncodeNormalized(d, xa));
+  }
+  return model.TotalLoss(orig_norms, aug_norms);
+}
+
+}  // namespace
+
+Result<TrainStats> TriadTrainer::Fit(
+    const std::vector<std::vector<double>>& windows, int64_t period,
+    TriadModel* model, Rng* rng) const {
+  if (windows.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least 2 training windows for contrastive batches");
+  }
+  const int64_t batch = std::max<int64_t>(2, config_.batch_size);
+
+  // Validation tail (chronologically last windows, as the paper holds out
+  // 10% of the training data).
+  int64_t val_count = static_cast<int64_t>(
+      config_.validation_fraction * static_cast<double>(windows.size()));
+  if (static_cast<int64_t>(windows.size()) - val_count < 2) val_count = 0;
+  if (val_count == 1) val_count = 0;  // a single window cannot form a batch
+  const int64_t train_count = static_cast<int64_t>(windows.size()) - val_count;
+
+  std::vector<std::vector<double>> train_windows(
+      windows.begin(), windows.begin() + train_count);
+  std::vector<std::vector<double>> val_windows(windows.begin() + train_count,
+                                               windows.end());
+
+  TrainStats stats;
+  stats.train_windows = train_count;
+  stats.val_windows = val_count;
+
+  nn::Adam optimizer(model->Parameters(),
+                     static_cast<float>(config_.learning_rate));
+
+  std::vector<int64_t> order(train_windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t num_batches = 0;
+    for (int64_t start = 0; start + 2 <= train_count; start += batch) {
+      const int64_t count = std::min(batch, train_count - start);
+      if (count < 2) break;
+      std::vector<std::vector<double>> batch_windows;
+      batch_windows.reserve(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        batch_windows.push_back(
+            train_windows[static_cast<size_t>(order[static_cast<size_t>(start + i)])]);
+      }
+      optimizer.ZeroGrad();
+      Var loss = BatchLoss(*model, batch_windows, period, rng);
+      loss.Backward();
+      optimizer.ClipGradNorm(5.0f);
+      optimizer.Step();
+      epoch_loss += loss.value()[0];
+      ++num_batches;
+    }
+    stats.epoch_train_loss.push_back(
+        num_batches == 0 ? 0.0 : epoch_loss / static_cast<double>(num_batches));
+
+    if (val_count >= 2) {
+      Var val_loss = BatchLoss(*model, val_windows, period, rng);
+      stats.epoch_val_loss.push_back(val_loss.value()[0]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace triad::core

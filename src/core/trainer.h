@@ -1,0 +1,39 @@
+#ifndef TRIAD_CORE_TRAINER_H_
+#define TRIAD_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/model.h"
+
+namespace triad::core {
+
+/// \brief Per-epoch loss trajectory of a training run.
+struct TrainStats {
+  std::vector<double> epoch_train_loss;
+  std::vector<double> epoch_val_loss;  ///< empty when no validation split
+  int64_t train_windows = 0;
+  int64_t val_windows = 0;
+};
+
+/// \brief Self-supervised contrastive training loop (paper Section IV-A3):
+/// batches of normal windows paired with their segment-augmented twins,
+/// Adam, and a 10% validation tail used to monitor generalization.
+class TriadTrainer {
+ public:
+  explicit TriadTrainer(const TriadConfig& config) : config_(config) {}
+
+  /// Trains `model` in place on anomaly-free windows. `period` drives the
+  /// residual-domain decomposition; `rng` drives shuffling and augmentation.
+  Result<TrainStats> Fit(const std::vector<std::vector<double>>& windows,
+                         int64_t period, TriadModel* model, Rng* rng) const;
+
+ private:
+  TriadConfig config_;
+};
+
+}  // namespace triad::core
+
+#endif  // TRIAD_CORE_TRAINER_H_

@@ -1,0 +1,86 @@
+#include "core/voting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace triad::core {
+
+VotingResult RunVoting(int64_t n, const std::vector<WindowVote>& windows,
+                       const std::vector<discord::Discord>& discords,
+                       const VotingOptions& options) {
+  TRIAD_CHECK_GE(n, 1);
+  VotingResult result;
+  result.votes.assign(static_cast<size_t>(n), 0.0);
+
+  for (const WindowVote& w : windows) {
+    for (int64_t i = std::max<int64_t>(0, w.start);
+         i < std::min(n, w.start + w.length); ++i) {
+      result.votes[static_cast<size_t>(i)] += 1.0;
+    }
+  }
+  for (const discord::Discord& d : discords) {
+    double weight = 1.0;
+    if (options.weighting == VoteWeighting::kDistanceWeighted) {
+      // Z-norm distances scale with sqrt(length); 2*sqrt(m) is the maximum,
+      // so this weight lies in [0, 1] and favors decisive discords.
+      weight = d.distance / (2.0 * std::sqrt(static_cast<double>(
+                                       std::max<int64_t>(1, d.length))));
+      weight = std::clamp(weight, 0.0, 1.0);
+    }
+    for (int64_t i = std::max<int64_t>(0, d.position);
+         i < std::min(n, d.position + d.length); ++i) {
+      result.votes[static_cast<size_t>(i)] += weight;
+    }
+  }
+
+  if (options.weighting == VoteWeighting::kNormalized) {
+    const double max_vote =
+        *std::max_element(result.votes.begin(), result.votes.end());
+    if (max_vote > 0.0) {
+      for (auto& v : result.votes) v /= max_vote;
+    }
+  }
+
+  std::vector<double> nonzero;
+  for (double v : result.votes) {
+    if (v > 0.0) nonzero.push_back(v);
+  }
+  if (nonzero.empty()) {
+    result.threshold = 0.0;
+  } else if (options.threshold_rule == ThresholdRule::kMeanNonzero) {
+    result.threshold = Mean(nonzero);
+  } else {
+    result.threshold = Quantile(nonzero, options.threshold_quantile);
+  }
+
+  result.predictions.assign(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    result.predictions[static_cast<size_t>(i)] =
+        result.votes[static_cast<size_t>(i)] > result.threshold ? 1 : 0;
+  }
+
+  // Exception rule (Section IV-G): if no prediction landed inside any
+  // nominated window, trust the windows themselves.
+  bool any_inside = false;
+  for (const WindowVote& w : windows) {
+    for (int64_t i = std::max<int64_t>(0, w.start);
+         i < std::min(n, w.start + w.length) && !any_inside; ++i) {
+      any_inside = result.predictions[static_cast<size_t>(i)] != 0;
+    }
+  }
+  if (!any_inside && !windows.empty()) {
+    result.exception_applied = true;
+    std::fill(result.predictions.begin(), result.predictions.end(), 0);
+    const WindowVote& w = windows.front();
+    for (int64_t i = std::max<int64_t>(0, w.start);
+         i < std::min(n, w.start + w.length); ++i) {
+      result.predictions[static_cast<size_t>(i)] = 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace triad::core

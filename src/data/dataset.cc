@@ -1,0 +1,37 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace triad::data {
+
+const char* AnomalyTypeToString(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kNoise:
+      return "noise";
+    case AnomalyType::kDuration:
+      return "duration";
+    case AnomalyType::kSeasonal:
+      return "seasonal";
+    case AnomalyType::kTrend:
+      return "trend";
+    case AnomalyType::kLevelShift:
+      return "level_shift";
+    case AnomalyType::kContextual:
+      return "contextual";
+    case AnomalyType::kPoint:
+      return "point";
+  }
+  return "unknown";
+}
+
+std::vector<int> UcrDataset::TestLabels() const {
+  TRIAD_CHECK(anomaly_begin >= 0 && anomaly_end >= anomaly_begin &&
+              anomaly_end <= static_cast<int64_t>(test.size()));
+  std::vector<int> labels(test.size(), 0);
+  for (int64_t i = anomaly_begin; i < anomaly_end; ++i) {
+    labels[static_cast<size_t>(i)] = 1;
+  }
+  return labels;
+}
+
+}  // namespace triad::data

@@ -1,0 +1,53 @@
+#ifndef TRIAD_DATA_DATASET_H_
+#define TRIAD_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace triad::data {
+
+/// \brief Anomaly archetypes, mirroring the paper's Fig. 16 taxonomy.
+enum class AnomalyType {
+  kNoise,       ///< burst of unexpected fluctuation
+  kDuration,    ///< a stable region lasts unexpectedly long
+  kSeasonal,    ///< local frequency change (e.g. doubled seasonality)
+  kTrend,       ///< unexpected ramp
+  kLevelShift,  ///< lasting jump or drop
+  kContextual,  ///< normal shape distorted (e.g. a missing secondary peak)
+  kPoint,       ///< single-point spike
+};
+
+const char* AnomalyTypeToString(AnomalyType type);
+
+/// \brief One UCR-archive-style dataset: an anomaly-free training prefix and
+/// a test split containing exactly one anomaly event.
+///
+/// `anomaly_begin`/`anomaly_end` index into `test` as a half-open range.
+struct UcrDataset {
+  std::string name;
+  std::vector<double> train;
+  std::vector<double> test;
+  int64_t anomaly_begin = 0;  ///< inclusive, test-relative
+  int64_t anomaly_end = 0;    ///< exclusive, test-relative
+  int64_t period = 0;         ///< ground-truth generation period (samples)
+  AnomalyType anomaly_type = AnomalyType::kNoise;
+  std::string family;         ///< base-signal family name
+
+  int64_t anomaly_length() const { return anomaly_end - anomaly_begin; }
+
+  /// 0/1 point labels over the test split.
+  std::vector<int> TestLabels() const;
+};
+
+/// \brief A multi-event labeled series (KPI/SWaT-like benchmarks).
+struct LabeledSeries {
+  std::string name;
+  std::vector<double> train;
+  std::vector<double> test;
+  std::vector<int> test_labels;  ///< 0/1 per test point
+};
+
+}  // namespace triad::data
+
+#endif  // TRIAD_DATA_DATASET_H_

@@ -1,0 +1,110 @@
+#include "data/flawed_benchmarks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace triad::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Daily+weekly seasonal traffic shape with moderate noise.
+double KpiBase(double t, double daily, double weekly) {
+  return 1.0 + 0.6 * std::sin(2.0 * kPi * t / daily) +
+         0.25 * std::sin(2.0 * kPi * t / weekly + 0.7) +
+         0.15 * std::sin(4.0 * kPi * t / daily + 0.3);
+}
+
+// Multi-stage plant cycle: staircase plateaus with smooth transitions.
+double SwatBase(double t, double cycle) {
+  const double p = std::fmod(t, cycle) / cycle;  // [0,1)
+  if (p < 0.3) return 0.2;
+  if (p < 0.4) return 0.2 + (p - 0.3) * 8.0;  // ramp to 1.0
+  if (p < 0.7) return 1.0;
+  if (p < 0.8) return 1.0 - (p - 0.7) * 6.0;  // ramp to 0.4
+  return 0.4;
+}
+
+}  // namespace
+
+LabeledSeries MakeKpiLike(uint64_t seed, int64_t test_length,
+                          int64_t num_spikes) {
+  TRIAD_CHECK_GE(test_length, 200);
+  Rng rng(seed);
+  const double daily = 288.0;   // 5-minute samples per day
+  const double weekly = 2016.0;
+  const int64_t train_length = test_length;
+
+  LabeledSeries out;
+  out.name = "kpi_like";
+  out.train.resize(static_cast<size_t>(train_length));
+  for (int64_t t = 0; t < train_length; ++t) {
+    out.train[static_cast<size_t>(t)] =
+        KpiBase(static_cast<double>(t), daily, weekly) +
+        rng.Normal(0.0, 0.05);
+  }
+  out.test.resize(static_cast<size_t>(test_length));
+  out.test_labels.assign(static_cast<size_t>(test_length), 0);
+  for (int64_t t = 0; t < test_length; ++t) {
+    out.test[static_cast<size_t>(t)] =
+        KpiBase(static_cast<double>(train_length + t), daily, weekly) +
+        rng.Normal(0.0, 0.05);
+  }
+  // One-liner spikes: 1-4 points, 4-8 sigma excursions.
+  for (int64_t s = 0; s < num_spikes; ++s) {
+    const int64_t len = rng.UniformInt(1, 4);
+    const int64_t begin = rng.UniformInt(10, test_length - 10 - len);
+    const double magnitude =
+        (rng.Bernoulli(0.5) ? 1.0 : -1.0) * rng.Uniform(1.5, 3.0);
+    for (int64_t i = begin; i < begin + len; ++i) {
+      out.test[static_cast<size_t>(i)] += magnitude;
+      out.test_labels[static_cast<size_t>(i)] = 1;
+    }
+  }
+  return out;
+}
+
+LabeledSeries MakeSwatLike(uint64_t seed, int64_t test_length,
+                           int64_t num_events) {
+  TRIAD_CHECK_GE(test_length, 1000);
+  Rng rng(seed);
+  const double cycle = 500.0;
+  const int64_t train_length = test_length;
+
+  LabeledSeries out;
+  out.name = "swat_like";
+  out.train.resize(static_cast<size_t>(train_length));
+  for (int64_t t = 0; t < train_length; ++t) {
+    out.train[static_cast<size_t>(t)] =
+        SwatBase(static_cast<double>(t), cycle) + rng.Normal(0.0, 0.02);
+  }
+  out.test.resize(static_cast<size_t>(test_length));
+  out.test_labels.assign(static_cast<size_t>(test_length), 0);
+  for (int64_t t = 0; t < test_length; ++t) {
+    out.test[static_cast<size_t>(t)] =
+        SwatBase(static_cast<double>(train_length + t), cycle) +
+        rng.Normal(0.0, 0.02);
+  }
+  // Long, dense, blatant events (~12% of the test split in total).
+  const int64_t total_anomalous = test_length * 12 / 100;
+  const int64_t event_len = std::max<int64_t>(50, total_anomalous / num_events);
+  for (int64_t e = 0; e < num_events; ++e) {
+    const int64_t slot = test_length / num_events;
+    const int64_t begin =
+        e * slot + rng.UniformInt(slot / 8, std::max<int64_t>(slot / 8 + 1,
+                                                              slot - event_len -
+                                                                  slot / 8));
+    const double level = rng.Bernoulli(0.5) ? 2.2 : -1.0;
+    for (int64_t i = begin; i < std::min(begin + event_len, test_length); ++i) {
+      out.test[static_cast<size_t>(i)] =
+          level + rng.Normal(0.0, 0.05);
+      out.test_labels[static_cast<size_t>(i)] = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace triad::data

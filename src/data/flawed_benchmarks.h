@@ -1,0 +1,29 @@
+#ifndef TRIAD_DATA_FLAWED_BENCHMARKS_H_
+#define TRIAD_DATA_FLAWED_BENCHMARKS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace triad::data {
+
+/// \brief Synthetic stand-ins for the flawed public benchmarks the paper
+/// critiques in Section II-B (Table II, Fig. 3).
+///
+/// The substitution preserves exactly the properties the paper's argument
+/// depends on: KPI's anomalies are extreme one-point spikes a random
+/// threshold can find ("one-liners"); SWaT's anomalies are long, dense and
+/// blatantly out of range, so point adjustment hugely inflates scores.
+
+/// KPI-like: seasonal service traffic with `num_spikes` short spike events.
+LabeledSeries MakeKpiLike(uint64_t seed, int64_t test_length = 4000,
+                          int64_t num_spikes = 12);
+
+/// SWaT-like: plant-stage plateaus with a few long, obvious excursions
+/// covering roughly 12% of the test split.
+LabeledSeries MakeSwatLike(uint64_t seed, int64_t test_length = 4000,
+                           int64_t num_events = 4);
+
+}  // namespace triad::data
+
+#endif  // TRIAD_DATA_FLAWED_BENCHMARKS_H_

@@ -1,0 +1,287 @@
+#include "data/ucr_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+
+namespace triad::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Deterministic base waveform; anomalies regenerate a segment with altered
+/// parameters so distortions are structurally consistent with the signal.
+struct BaseSignal {
+  std::string family;
+  int64_t period = 50;
+  double amp2 = 0.4;       ///< secondary component amplitude
+  double phase2 = 0.0;
+  double duty = 0.5;       ///< square-wave duty cycle
+  double drift_amp = 0.08; ///< slow drift amplitude
+
+  /// Gaussian bump helper for the ECG-like family.
+  static double Bump(double p, double center, double width, double height) {
+    const double z = (p - center) / width;
+    return height * std::exp(-0.5 * z * z);
+  }
+
+  /// Value at (continuous) time t. `freq_mult` locally scales frequency
+  /// (seasonal anomalies); `second_scale` scales the secondary component
+  /// (contextual anomalies, e.g. a missing peak).
+  double Eval(double t, double freq_mult = 1.0,
+              double second_scale = 1.0) const {
+    const double T = static_cast<double>(period);
+    const double tau = t * freq_mult;
+    const double drift = drift_amp * std::sin(2.0 * kPi * t / (8.0 * T));
+    double v = 0.0;
+    if (family == "sine") {
+      v = std::sin(2.0 * kPi * tau / T) +
+          second_scale * amp2 * std::sin(4.0 * kPi * tau / T + phase2);
+    } else if (family == "ecg") {
+      double p = std::fmod(tau, T);
+      if (p < 0) p += T;
+      v = Bump(p, 0.20 * T, 0.05 * T, 0.25)    // P wave
+          + Bump(p, 0.45 * T, 0.018 * T, 1.2)  // QRS spike
+          - Bump(p, 0.40 * T, 0.012 * T, 0.18) // Q dip
+          - Bump(p, 0.50 * T, 0.012 * T, 0.22) // S dip
+          + second_scale * Bump(p, 0.72 * T, 0.06 * T, 0.45);  // T wave
+    } else if (family == "saw") {
+      double p = std::fmod(tau, T);
+      if (p < 0) p += T;
+      const double ramp = 2.0 * p / T - 1.0;
+      v = ramp + second_scale * amp2 * std::sin(6.0 * kPi * tau / T);
+    } else {  // "square"
+      double p = std::fmod(tau, T);
+      if (p < 0) p += T;
+      const double edge0 = 0.06 * T;
+      const double on = duty * T;
+      // Smoothed rectangular pulse via two tanh edges.
+      v = 0.5 * (std::tanh((p - 0.15 * T) / edge0) -
+                 std::tanh((p - 0.15 * T - on) / edge0));
+      v += second_scale * amp2 * 0.5 * std::sin(4.0 * kPi * tau / T);
+    }
+    return v + drift;
+  }
+};
+
+const char* kFamilies[] = {"sine", "ecg", "saw", "square"};
+const AnomalyType kTypes[] = {
+    AnomalyType::kNoise,      AnomalyType::kDuration,
+    AnomalyType::kSeasonal,   AnomalyType::kTrend,
+    AnomalyType::kLevelShift, AnomalyType::kContextual,
+    AnomalyType::kPoint,
+};
+
+BaseSignal SampleBase(const UcrGeneratorOptions& options, const char* family,
+                      Rng* rng) {
+  BaseSignal base;
+  base.family = family;
+  base.period = rng->UniformInt(options.min_period, options.max_period);
+  base.amp2 = rng->Uniform(0.3, 0.5);
+  base.phase2 = rng->Uniform(0.0, 2.0 * kPi);
+  base.duty = rng->Uniform(0.35, 0.55);
+  base.drift_amp = rng->Uniform(0.04, 0.12);
+  return base;
+}
+
+// Log-uniform anomaly length in [lo, hi] — reproduces the short-skewed
+// distribution of paper Fig. 6.
+int64_t SampleAnomalyLength(int64_t lo, int64_t hi, Rng* rng) {
+  TRIAD_CHECK_LE(lo, hi);
+  const double u = rng->Uniform(std::log(static_cast<double>(lo)),
+                                std::log(static_cast<double>(hi) + 1.0));
+  return std::clamp<int64_t>(static_cast<int64_t>(std::exp(u)), lo, hi);
+}
+
+// Injects the anomaly into test[begin, end). `t0` is the absolute time of
+// test[0] so regenerated values stay phase-continuous.
+void InjectAnomaly(const BaseSignal& base, AnomalyType type, double severity,
+                   int64_t t0, int64_t begin, int64_t end,
+                   std::vector<double>* test, Rng* rng) {
+  const int64_t len = end - begin;
+  switch (type) {
+    case AnomalyType::kNoise: {
+      const double sigma = 0.45 * severity;
+      for (int64_t i = begin; i < end; ++i) {
+        (*test)[static_cast<size_t>(i)] += rng->Normal(0.0, sigma);
+      }
+      break;
+    }
+    case AnomalyType::kDuration: {
+      // The value at `begin` persists: a stuck-sensor plateau.
+      const double hold = (*test)[static_cast<size_t>(begin)];
+      for (int64_t i = begin; i < end; ++i) {
+        const double blend = severity;
+        (*test)[static_cast<size_t>(i)] =
+            blend * hold + (1.0 - blend) * (*test)[static_cast<size_t>(i)];
+      }
+      break;
+    }
+    case AnomalyType::kSeasonal: {
+      // Local frequency doubling, phase-matched at the segment start.
+      const double mult = 1.0 + severity;  // 2.0 at full severity
+      for (int64_t i = begin; i < end; ++i) {
+        const double t = static_cast<double>(t0 + begin) +
+                         mult * static_cast<double>(i - begin);
+        (*test)[static_cast<size_t>(i)] = base.Eval(t) + rng->Normal(0.0, 0.02);
+      }
+      break;
+    }
+    case AnomalyType::kTrend: {
+      // Ramp up across the segment, then snap back (the ramp is anomalous).
+      const double peak = 1.2 * severity;
+      for (int64_t i = begin; i < end; ++i) {
+        const double frac =
+            static_cast<double>(i - begin) / std::max<int64_t>(1, len - 1);
+        (*test)[static_cast<size_t>(i)] += peak * frac;
+      }
+      break;
+    }
+    case AnomalyType::kLevelShift: {
+      const double offset = (rng->Bernoulli(0.5) ? 1.0 : -1.0) * 0.9 * severity;
+      for (int64_t i = begin; i < end; ++i) {
+        (*test)[static_cast<size_t>(i)] += offset;
+      }
+      break;
+    }
+    case AnomalyType::kContextual: {
+      // The secondary structure (harmonic / T wave) fades out.
+      const double scale = 1.0 - severity;
+      for (int64_t i = begin; i < end; ++i) {
+        (*test)[static_cast<size_t>(i)] =
+            base.Eval(static_cast<double>(t0 + i), 1.0, scale) +
+            ((*test)[static_cast<size_t>(i)] -
+             base.Eval(static_cast<double>(t0 + i)));
+      }
+      break;
+    }
+    case AnomalyType::kPoint: {
+      const double spike = (rng->Bernoulli(0.5) ? 1.0 : -1.0) *
+                           rng->Uniform(1.5, 2.5) * severity;
+      for (int64_t i = begin; i < end; ++i) {
+        (*test)[static_cast<size_t>(i)] += spike;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+UcrDataset MakeUcrDataset(const UcrGeneratorOptions& options,
+                          int64_t dataset_index, AnomalyType type,
+                          const char* family, Rng* rng) {
+  BaseSignal base = SampleBase(options, family, rng);
+  const int64_t T = base.period;
+  const int64_t train_len =
+      T * rng->UniformInt(options.min_train_periods, options.max_train_periods);
+  const int64_t test_len =
+      T * rng->UniformInt(options.min_test_periods, options.max_test_periods);
+
+  UcrDataset ds;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "synth_%03lld_%s_%s",
+                static_cast<long long>(dataset_index), family,
+                AnomalyTypeToString(type));
+  ds.name = buf;
+  ds.family = family;
+  ds.period = T;
+  ds.anomaly_type = type;
+
+  ds.train.resize(static_cast<size_t>(train_len));
+  for (int64_t t = 0; t < train_len; ++t) {
+    ds.train[static_cast<size_t>(t)] =
+        base.Eval(static_cast<double>(t)) +
+        rng->Normal(0.0, options.noise_level);
+  }
+
+  ds.test.resize(static_cast<size_t>(test_len));
+  for (int64_t t = 0; t < test_len; ++t) {
+    ds.test[static_cast<size_t>(t)] =
+        base.Eval(static_cast<double>(train_len + t)) +
+        rng->Normal(0.0, options.noise_level);
+  }
+
+  // Anomaly placement: away from the test edges by >= 2 periods.
+  int64_t max_len = std::max<int64_t>(4, std::min(3 * T, test_len / 4));
+  int64_t len = (type == AnomalyType::kPoint)
+                    ? rng->UniformInt(1, 3)
+                    : SampleAnomalyLength(4, max_len, rng);
+  const int64_t margin = 2 * T;
+  const int64_t hi_begin = test_len - margin - len;
+  TRIAD_CHECK_GT(hi_begin, margin);
+  const int64_t begin = rng->UniformInt(margin, hi_begin);
+  ds.anomaly_begin = begin;
+  ds.anomaly_end = begin + len;
+
+  InjectAnomaly(base, type, options.severity, train_len, begin, begin + len,
+                &ds.test, rng);
+  return ds;
+}
+
+std::vector<UcrDataset> MakeUcrArchive(const UcrGeneratorOptions& options) {
+  Rng master(options.seed);
+  std::vector<UcrDataset> archive;
+  archive.reserve(static_cast<size_t>(options.count));
+  constexpr int kNumFamilies = 4;
+  constexpr int kNumTypes = 7;
+  for (int64_t i = 0; i < options.count; ++i) {
+    Rng rng = master.Fork();
+    const char* family = kFamilies[i % kNumFamilies];
+    const AnomalyType type = kTypes[(i / kNumFamilies) % kNumTypes];
+    archive.push_back(MakeUcrDataset(options, i, type, family, &rng));
+  }
+  return archive;
+}
+
+UcrDataset MakeCaseStudy025(uint64_t seed) {
+  UcrGeneratorOptions options;
+  options.min_period = 64;
+  options.max_period = 64;
+  options.min_train_periods = 20;
+  options.max_train_periods = 20;
+  options.min_test_periods = 14;
+  options.max_test_periods = 14;
+  options.noise_level = 0.03;
+  options.severity = 0.95;
+  Rng rng(seed);
+  UcrDataset ds =
+      MakeUcrDataset(options, 25, AnomalyType::kContextual, "ecg", &rng);
+  ds.name = "case_study_025";
+  return ds;
+}
+
+UcrDataset MakeWideAnomalyDataset(uint64_t seed) {
+  UcrGeneratorOptions options;
+  options.min_period = 48;
+  options.max_period = 48;
+  options.min_test_periods = 14;
+  options.max_test_periods = 14;
+  Rng rng(seed);
+  UcrDataset ds =
+      MakeUcrDataset(options, 150, AnomalyType::kSeasonal, "sine", &rng);
+  // Widen the anomaly to ~5 periods so it dominates the ~7.5-period padded
+  // search region (window 2.5 periods + padding both sides).
+  const int64_t T = ds.period;
+  const int64_t test_len = static_cast<int64_t>(ds.test.size());
+  const int64_t begin = std::min(ds.anomaly_begin, test_len - 2 * T - 5 * T);
+  const int64_t end = begin + 5 * T;
+  // Reset the segment then re-inject at the wider span.
+  ds.anomaly_begin = begin;
+  ds.anomaly_end = end;
+  for (int64_t i = begin; i < end; ++i) {
+    const double t = static_cast<double>(
+        static_cast<int64_t>(ds.train.size()) + begin +
+        2 * (i - begin));  // frequency doubled across three periods
+    ds.test[static_cast<size_t>(i)] =
+        std::sin(2.0 * kPi * t / static_cast<double>(T)) +
+        rng.Normal(0.0, options.noise_level);
+  }
+  ds.name = "wide_anomaly_150";
+  return ds;
+}
+
+}  // namespace triad::data

@@ -1,0 +1,118 @@
+#include "data/ucr_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace triad::data {
+namespace {
+
+// Splits "a_b_c" on underscores.
+std::vector<std::string> SplitUnderscore(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == '_') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  *out = std::stoll(s);
+  return true;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+Result<UcrFileNameInfo> ParseUcrFileName(const std::string& file_name) {
+  std::string stem = file_name;
+  if (stem.size() > 4 && stem.substr(stem.size() - 4) == ".txt") {
+    stem = stem.substr(0, stem.size() - 4);
+  }
+  const std::vector<std::string> parts = SplitUnderscore(stem);
+  // Minimum: id, UCR, Anomaly, name..., train_end, begin, end.
+  if (parts.size() < 7) {
+    return Status::InvalidArgument("unrecognized UCR file name: " + file_name);
+  }
+  UcrFileNameInfo info;
+  const size_t n = parts.size();
+  if (!ParseInt(parts[n - 3], &info.train_end) ||
+      !ParseInt(parts[n - 2], &info.anomaly_begin) ||
+      !ParseInt(parts[n - 1], &info.anomaly_end)) {
+    return Status::InvalidArgument("UCR file name has non-numeric split "
+                                   "fields: " +
+                                   file_name);
+  }
+  std::ostringstream name;
+  for (size_t i = 3; i + 3 < n; ++i) {
+    if (i > 3) name << '_';
+    name << parts[i];
+  }
+  info.name = name.str();
+  if (info.name.empty()) info.name = parts[0];
+  if (info.anomaly_end < info.anomaly_begin ||
+      info.anomaly_begin < info.train_end) {
+    return Status::InvalidArgument("inconsistent UCR split indices: " +
+                                   file_name);
+  }
+  return info;
+}
+
+Result<UcrDataset> LoadUcrFile(const std::string& path) {
+  TRIAD_ASSIGN_OR_RETURN(UcrFileNameInfo info, ParseUcrFileName(Basename(path)));
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<double> values;
+  double v;
+  while (in >> v) values.push_back(v);
+  if (values.empty()) return Status::IoError("no values in " + path);
+  const auto n = static_cast<int64_t>(values.size());
+  if (info.train_end <= 0 || info.train_end >= n ||
+      info.anomaly_end >= n) {
+    return Status::InvalidArgument("split indices out of range for " + path);
+  }
+  UcrDataset ds;
+  ds.name = info.name;
+  ds.train.assign(values.begin(), values.begin() + info.train_end);
+  ds.test.assign(values.begin() + info.train_end, values.end());
+  // Archive indices are full-series and inclusive; convert.
+  ds.anomaly_begin = info.anomaly_begin - info.train_end;
+  ds.anomaly_end = info.anomaly_end - info.train_end + 1;
+  return ds;
+}
+
+Result<std::string> SaveUcrFile(const UcrDataset& dataset,
+                                const std::string& directory) {
+  const int64_t train_end = static_cast<int64_t>(dataset.train.size());
+  char name[256];
+  std::snprintf(name, sizeof(name), "%s/000_UCR_Anomaly_%s_%lld_%lld_%lld.txt",
+                directory.c_str(), dataset.name.c_str(),
+                static_cast<long long>(train_end),
+                static_cast<long long>(train_end + dataset.anomaly_begin),
+                static_cast<long long>(train_end + dataset.anomaly_end - 1));
+  std::ofstream out(name);
+  if (!out) return Status::IoError(std::string("cannot write ") + name);
+  for (double v : dataset.train) out << v << '\n';
+  for (double v : dataset.test) out << v << '\n';
+  if (!out) return Status::IoError(std::string("write failed for ") + name);
+  return std::string(name);
+}
+
+}  // namespace triad::data

@@ -1,0 +1,40 @@
+#ifndef TRIAD_DATA_UCR_IO_H_
+#define TRIAD_DATA_UCR_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace triad::data {
+
+/// \brief Reader/writer for the real UCR Anomaly Archive file format, so the
+/// actual archive drops into this library unchanged.
+///
+/// Each dataset is a single text file with one value per line, and the file
+/// name encodes the splits:
+///   <id>_UCR_Anomaly_<name>_<train_end>_<anomaly_begin>_<anomaly_end>.txt
+/// where the three integers are indices into the full series (the archive's
+/// anomaly indices are inclusive; we convert to our half-open convention).
+
+/// Parses a dataset from a file. The name metadata is taken from the
+/// basename of `path`.
+Result<UcrDataset> LoadUcrFile(const std::string& path);
+
+/// Writes a dataset to `directory` using the archive naming scheme;
+/// returns the full file path.
+Result<std::string> SaveUcrFile(const UcrDataset& dataset,
+                                const std::string& directory);
+
+/// Parses just the metadata out of an archive file name. Exposed for tests.
+struct UcrFileNameInfo {
+  std::string name;
+  int64_t train_end = 0;       ///< exclusive end of the training split
+  int64_t anomaly_begin = 0;   ///< inclusive, full-series index
+  int64_t anomaly_end = 0;     ///< inclusive, full-series index
+};
+Result<UcrFileNameInfo> ParseUcrFileName(const std::string& file_name);
+
+}  // namespace triad::data
+
+#endif  // TRIAD_DATA_UCR_IO_H_

@@ -1,0 +1,283 @@
+#include "discord/discord.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "discord/mass.h"
+
+namespace triad::discord {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shared per-length context: the series, rolling stats, and counters.
+struct LengthContext {
+  const std::vector<double>& series;
+  int64_t m;
+  int64_t count;      // number of subsequences
+  RollingStats stats;
+  DiscordStats* counters;
+
+  const double* Sub(int64_t i) const { return series.data() + i; }
+  double MeanAt(int64_t i) const { return stats.mean[static_cast<size_t>(i)]; }
+  double StdAt(int64_t i) const { return stats.stddev[static_cast<size_t>(i)]; }
+
+  double Distance(int64_t i, int64_t j, double best_so_far) const {
+    if (counters != nullptr) counters->pointwise_distance_ops += m;
+    return ZNormDistanceEarlyAbandon(Sub(i), MeanAt(i), StdAt(i), Sub(j),
+                                     MeanAt(j), StdAt(j), m, best_so_far);
+  }
+};
+
+// DRAG phase 1: prune to a candidate set whose members *may* have
+// NN distance >= r.
+std::vector<int64_t> DragPhase1(const LengthContext& ctx, double r) {
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < ctx.count; ++i) {
+    bool is_candidate = true;
+    for (size_t ci = 0; ci < candidates.size();) {
+      const int64_t c = candidates[ci];
+      if (std::llabs(i - c) < ctx.m) {  // trivial match, keep both
+        ++ci;
+        continue;
+      }
+      const double d = ctx.Distance(i, c, r);
+      if (d < r) {
+        // Both i and c have a neighbour within r: neither can be a discord.
+        candidates[ci] = candidates.back();
+        candidates.pop_back();
+        is_candidate = false;
+      } else {
+        ++ci;
+      }
+    }
+    if (is_candidate) candidates.push_back(i);
+  }
+  return candidates;
+}
+
+// DRAG phase 2, linear scan variant: exact NN distance per candidate with
+// early abandoning; candidates whose NN drops below r are discarded.
+std::optional<Discord> DragPhase2Linear(const LengthContext& ctx,
+                                        const std::vector<int64_t>& candidates,
+                                        double r) {
+  Discord best;
+  best.distance = -kInf;
+  for (const int64_t c : candidates) {
+    double nn = kInf;
+    bool failed = false;
+    for (int64_t j = 0; j < ctx.count; ++j) {
+      if (std::llabs(j - c) < ctx.m) continue;
+      const double d = ctx.Distance(c, j, std::min(nn, kInf));
+      nn = std::min(nn, d);
+      if (nn < r) {
+        failed = true;
+        break;
+      }
+    }
+    if (!failed && nn >= r && nn > best.distance && std::isfinite(nn)) {
+      best.position = c;
+      best.length = ctx.m;
+      best.distance = nn;
+    }
+  }
+  if (best.position < 0) return std::nullopt;
+  return best;
+}
+
+// DRAG phase 2, Orchard-style: comparisons ordered by a reference-point
+// lower bound |d_ref(j) - d_ref(c)| <= d(c, j); the scan stops as soon as
+// the lower bound exceeds the current NN. Exact, usually far fewer ops.
+std::optional<Discord> DragPhase2Orchard(
+    const LengthContext& ctx, const std::vector<int64_t>& candidates,
+    double r) {
+  // Reference distances via one MASS profile from the first subsequence.
+  const std::vector<double> query(ctx.series.begin(),
+                                  ctx.series.begin() + ctx.m);
+  const std::vector<double> d_ref = MassDistanceProfile(ctx.series, query);
+  if (ctx.counters != nullptr) ctx.counters->distance_profiles += 1;
+
+  // Order subsequences by reference distance once.
+  std::vector<int64_t> order(static_cast<size_t>(ctx.count));
+  for (int64_t i = 0; i < ctx.count; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return d_ref[static_cast<size_t>(a)] < d_ref[static_cast<size_t>(b)];
+  });
+  std::vector<int64_t> rank(static_cast<size_t>(ctx.count));
+  for (int64_t i = 0; i < ctx.count; ++i) {
+    rank[static_cast<size_t>(order[static_cast<size_t>(i)])] = i;
+  }
+
+  Discord best;
+  best.distance = -kInf;
+  for (const int64_t c : candidates) {
+    double nn = kInf;
+    bool failed = false;
+    // Walk outward from c's rank: two-pointer over the sorted order gives
+    // non-decreasing lower bounds.
+    int64_t lo = rank[static_cast<size_t>(c)];
+    int64_t hi = lo + 1;
+    const double c_ref = d_ref[static_cast<size_t>(c)];
+    while (lo >= 0 || hi < ctx.count) {
+      int64_t pick;
+      double lb_lo = kInf, lb_hi = kInf;
+      if (lo >= 0) {
+        lb_lo = std::abs(d_ref[static_cast<size_t>(order[static_cast<size_t>(lo)])] - c_ref);
+      }
+      if (hi < ctx.count) {
+        lb_hi = std::abs(d_ref[static_cast<size_t>(order[static_cast<size_t>(hi)])] - c_ref);
+      }
+      if (lb_lo <= lb_hi) {
+        pick = order[static_cast<size_t>(lo)];
+        --lo;
+      } else {
+        pick = order[static_cast<size_t>(hi)];
+        ++hi;
+      }
+      const double lb = std::min(lb_lo, lb_hi);
+      if (lb > nn) break;  // no remaining point can improve the NN
+      if (std::llabs(pick - c) < ctx.m) continue;
+      const double d = ctx.Distance(c, pick, nn);
+      nn = std::min(nn, d);
+      if (nn < r) {
+        failed = true;
+        break;
+      }
+    }
+    if (!failed && nn >= r && nn > best.distance && std::isfinite(nn)) {
+      best.position = c;
+      best.length = ctx.m;
+      best.distance = nn;
+    }
+  }
+  if (best.position < 0) return std::nullopt;
+  return best;
+}
+
+enum class Phase2 { kLinear, kOrchard };
+
+Result<std::optional<Discord>> RunDrag(const std::vector<double>& series,
+                                       int64_t m, double r, Phase2 phase2,
+                                       DiscordStats* stats) {
+  const int64_t n = static_cast<int64_t>(series.size());
+  if (m < 2) return Status::InvalidArgument("discord length must be >= 2");
+  if (2 * m > n) {
+    return Status::InvalidArgument(
+        "series too short for non-trivial matches at this length");
+  }
+  LengthContext ctx{series, m, n - m + 1, ComputeRollingStats(series, m),
+                    stats};
+  std::vector<int64_t> candidates = DragPhase1(ctx, r);
+  if (stats != nullptr) {
+    stats->candidates_after_phase1 += static_cast<int64_t>(candidates.size());
+  }
+  if (candidates.empty()) return std::optional<Discord>(std::nullopt);
+  if (phase2 == Phase2::kLinear) {
+    return std::optional<Discord>(DragPhase2Linear(ctx, candidates, r));
+  }
+  return std::optional<Discord>(DragPhase2Orchard(ctx, candidates, r));
+}
+
+Result<MerlinResult> RunMerlin(const std::vector<double>& series,
+                               int64_t min_length, int64_t max_length,
+                               int64_t length_step, Phase2 phase2) {
+  const int64_t n = static_cast<int64_t>(series.size());
+  if (min_length < 2 || min_length > max_length || length_step < 1) {
+    return Status::InvalidArgument("invalid MERLIN length range");
+  }
+  if (2 * min_length > n) {
+    return Status::InvalidArgument("series too short for MERLIN range");
+  }
+
+  MerlinResult result;
+  std::vector<double> recent_distances;  // last <=5 discord distances
+  constexpr int kMaxRetries = 400;
+
+  for (int64_t m = min_length; m <= max_length; m += length_step) {
+    if (2 * m > n) break;  // longer lengths have no non-trivial match
+    double r;
+    const size_t k = recent_distances.size();
+    if (k == 0) {
+      r = 2.0 * std::sqrt(static_cast<double>(m));
+    } else if (k < 5) {
+      r = recent_distances.back() * 0.99;
+    } else {
+      std::vector<double> last5(recent_distances.end() - 5,
+                                recent_distances.end());
+      r = Mean(last5) - 2.0 * StdDev(last5);
+    }
+    const double r_cap = 2.0 * std::sqrt(static_cast<double>(m));
+    r = std::clamp(r, 1e-6, r_cap * 0.999);
+
+    std::optional<Discord> found;
+    int retries = 0;
+    while (retries < kMaxRetries) {
+      TRIAD_ASSIGN_OR_RETURN(found,
+                             RunDrag(series, m, r, phase2, &result.stats));
+      if (found.has_value()) break;
+      ++result.stats.restarts;
+      ++retries;
+      r = (k == 0) ? r * 0.5 : r * 0.99;
+      if (r < 1e-9) break;
+    }
+    if (found.has_value()) {
+      result.discords.push_back(*found);
+      recent_distances.push_back(found->distance);
+      if (recent_distances.size() > 5) {
+        recent_distances.erase(recent_distances.begin());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Discord> BruteForceDiscord(const std::vector<double>& series,
+                                  int64_t m) {
+  const int64_t n = static_cast<int64_t>(series.size());
+  if (m < 2) return Status::InvalidArgument("discord length must be >= 2");
+  if (2 * m > n) {
+    return Status::InvalidArgument(
+        "series too short for non-trivial matches at this length");
+  }
+  const std::vector<double> profile = MatrixProfileNaive(series, m);
+  Discord best;
+  best.length = m;
+  best.distance = -kInf;
+  for (size_t i = 0; i < profile.size(); ++i) {
+    if (std::isfinite(profile[i]) && profile[i] > best.distance) {
+      best.distance = profile[i];
+      best.position = static_cast<int64_t>(i);
+    }
+  }
+  if (best.position < 0) {
+    return Status::Internal("matrix profile had no finite entries");
+  }
+  return best;
+}
+
+Result<std::optional<Discord>> DragDiscord(const std::vector<double>& series,
+                                           int64_t m, double r,
+                                           DiscordStats* stats) {
+  return RunDrag(series, m, r, Phase2::kLinear, stats);
+}
+
+Result<MerlinResult> Merlin(const std::vector<double>& series,
+                            int64_t min_length, int64_t max_length,
+                            int64_t length_step) {
+  return RunMerlin(series, min_length, max_length, length_step,
+                   Phase2::kLinear);
+}
+
+Result<MerlinResult> MerlinPlusPlus(const std::vector<double>& series,
+                                    int64_t min_length, int64_t max_length,
+                                    int64_t length_step) {
+  return RunMerlin(series, min_length, max_length, length_step,
+                   Phase2::kOrchard);
+}
+
+}  // namespace triad::discord

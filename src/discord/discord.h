@@ -1,0 +1,72 @@
+#ifndef TRIAD_DISCORD_DISCORD_H_
+#define TRIAD_DISCORD_DISCORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace triad::discord {
+
+/// \brief A time-series discord: the subsequence whose nearest non-trivial
+/// match is farthest away.
+struct Discord {
+  int64_t position = -1;  ///< start index of the discord subsequence
+  int64_t length = 0;     ///< subsequence length m
+  double distance = 0.0;  ///< z-normalized Euclidean distance to its NN
+};
+
+/// \brief Work counters for the algorithm-comparison benches.
+struct DiscordStats {
+  int64_t candidates_after_phase1 = 0;
+  int64_t pointwise_distance_ops = 0;   ///< early-abandon scalar iterations
+  int64_t distance_profiles = 0;        ///< full MASS profile evaluations
+  int64_t restarts = 0;                 ///< DRAG re-runs after range failures
+};
+
+/// \brief Exact top-1 discord of length m via the full matrix profile.
+/// O(n^2 log n); reference implementation for tests.
+Result<Discord> BruteForceDiscord(const std::vector<double>& series,
+                                  int64_t m);
+
+/// \brief DRAG (Yankov, Keogh & Rebbapragada): two-phase discord discovery
+/// with a range parameter r.
+///
+/// Returns the top discord whose nearest-neighbour distance is >= r, or
+/// nullopt if no subsequence qualifies (the caller should lower r and retry,
+/// which is exactly what MERLIN automates). `stats` may be null.
+Result<std::optional<Discord>> DragDiscord(const std::vector<double>& series,
+                                           int64_t m, double r,
+                                           DiscordStats* stats = nullptr);
+
+/// \brief Result of a MERLIN run: the top discord for every length in the
+/// requested range (lengths whose search degenerated are skipped).
+struct MerlinResult {
+  std::vector<Discord> discords;
+  DiscordStats stats;
+};
+
+/// \brief MERLIN (Nakamura et al., ICDM'20): parameter-free discovery of the
+/// top discord at every length in [min_length, max_length].
+///
+/// The range r is seeded at 2*sqrt(m) for the first length, then predicted
+/// from preceding discord distances (mean - 2*sd of the last five), halving
+/// or shrinking by 1% on failure — faithful to the published control loop.
+/// `length_step` > 1 searches every step-th length (a speed/coverage knob
+/// used by TriAD's restricted search).
+Result<MerlinResult> Merlin(const std::vector<double>& series,
+                            int64_t min_length, int64_t max_length,
+                            int64_t length_step = 1);
+
+/// \brief MERLIN++-style accelerated variant: identical output, but the
+/// phase-2 nearest-neighbour confirmation orders candidates' comparisons by
+/// an Orchard-style reference-point lower bound so most distance
+/// computations abandon early.
+Result<MerlinResult> MerlinPlusPlus(const std::vector<double>& series,
+                                    int64_t min_length, int64_t max_length,
+                                    int64_t length_step = 1);
+
+}  // namespace triad::discord
+
+#endif  // TRIAD_DISCORD_DISCORD_H_

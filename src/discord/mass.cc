@@ -1,0 +1,128 @@
+#include "discord/mass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "signal/fft.h"
+#include "signal/windows.h"
+
+namespace triad::discord {
+
+RollingStats ComputeRollingStats(const std::vector<double>& series,
+                                 int64_t m) {
+  const int64_t n = static_cast<int64_t>(series.size());
+  TRIAD_CHECK(m >= 1 && m <= n);
+  const int64_t count = n - m + 1;
+  RollingStats out;
+  out.mean.resize(static_cast<size_t>(count));
+  out.stddev.resize(static_cast<size_t>(count));
+
+  std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> prefix_sq(static_cast<size_t>(n) + 1, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    prefix[static_cast<size_t>(i) + 1] = prefix[static_cast<size_t>(i)] + series[static_cast<size_t>(i)];
+    prefix_sq[static_cast<size_t>(i) + 1] =
+        prefix_sq[static_cast<size_t>(i)] +
+        series[static_cast<size_t>(i)] * series[static_cast<size_t>(i)];
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    const double sum = prefix[static_cast<size_t>(i + m)] - prefix[static_cast<size_t>(i)];
+    const double sum_sq =
+        prefix_sq[static_cast<size_t>(i + m)] - prefix_sq[static_cast<size_t>(i)];
+    const double mu = sum / static_cast<double>(m);
+    const double var =
+        std::max(0.0, sum_sq / static_cast<double>(m) - mu * mu);
+    out.mean[static_cast<size_t>(i)] = mu;
+    out.stddev[static_cast<size_t>(i)] = std::sqrt(var);
+  }
+  return out;
+}
+
+std::vector<double> MassDistanceProfile(const std::vector<double>& series,
+                                        const std::vector<double>& query) {
+  const int64_t n = static_cast<int64_t>(series.size());
+  const int64_t m = static_cast<int64_t>(query.size());
+  TRIAD_CHECK(m >= 1 && m <= n);
+  const int64_t count = n - m + 1;
+
+  double q_mean = 0.0;
+  for (double v : query) q_mean += v;
+  q_mean /= static_cast<double>(m);
+  double q_ss = 0.0;
+  for (double v : query) q_ss += (v - q_mean) * (v - q_mean);
+  const double q_std = std::sqrt(q_ss / static_cast<double>(m));
+  const bool query_flat = q_std < 1e-12;
+
+  // Sliding dot products: reverse the query and convolve.
+  std::vector<double> reversed(query.rbegin(), query.rend());
+  const std::vector<double> conv = signal::FftConvolve(series, reversed);
+  // conv[m-1 + i] = sum_j series[i+j] * query[j].
+
+  const RollingStats stats = ComputeRollingStats(series, m);
+  const double max_dist = 2.0 * std::sqrt(static_cast<double>(m));
+
+  std::vector<double> profile(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const double s_std = stats.stddev[static_cast<size_t>(i)];
+    const bool window_flat = s_std < 1e-12;
+    if (query_flat || window_flat) {
+      profile[static_cast<size_t>(i)] =
+          (query_flat && window_flat) ? 0.0 : max_dist;
+      continue;
+    }
+    const double dot = conv[static_cast<size_t>(m - 1 + i)];
+    const double corr =
+        (dot - static_cast<double>(m) * stats.mean[static_cast<size_t>(i)] * q_mean) /
+        (static_cast<double>(m) * s_std * q_std);
+    const double clamped = std::clamp(corr, -1.0, 1.0);
+    profile[static_cast<size_t>(i)] =
+        std::sqrt(2.0 * static_cast<double>(m) * (1.0 - clamped));
+  }
+  return profile;
+}
+
+double ZNormDistanceEarlyAbandon(const double* a, double mean_a, double std_a,
+                                 const double* b, double mean_b, double std_b,
+                                 int64_t m, double best_so_far) {
+  const double max_dist = 2.0 * std::sqrt(static_cast<double>(m));
+  const bool a_flat = std_a < 1e-12;
+  const bool b_flat = std_b < 1e-12;
+  if (a_flat || b_flat) return (a_flat && b_flat) ? 0.0 : max_dist;
+
+  const double threshold = best_so_far * best_so_far;
+  const double inv_a = 1.0 / std_a;
+  const double inv_b = 1.0 / std_b;
+  double acc = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    const double za = (a[i] - mean_a) * inv_a;
+    const double zb = (b[i] - mean_b) * inv_b;
+    const double d = za - zb;
+    acc += d * d;
+    if (acc > threshold) return std::sqrt(acc);  // abandoned: lower bound only
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<double> MatrixProfileNaive(const std::vector<double>& series,
+                                       int64_t m) {
+  const int64_t n = static_cast<int64_t>(series.size());
+  TRIAD_CHECK(m >= 1 && m <= n);
+  const int64_t count = n - m + 1;
+  const int64_t exclusion = m;  // non-self match: |i - j| >= m
+  std::vector<double> profile(static_cast<size_t>(count),
+                              std::numeric_limits<double>::infinity());
+  for (int64_t i = 0; i < count; ++i) {
+    const std::vector<double> query(series.begin() + i, series.begin() + i + m);
+    const std::vector<double> dp = MassDistanceProfile(series, query);
+    double best = std::numeric_limits<double>::infinity();
+    for (int64_t j = 0; j < count; ++j) {
+      if (std::llabs(j - i) < exclusion) continue;
+      best = std::min(best, dp[static_cast<size_t>(j)]);
+    }
+    profile[static_cast<size_t>(i)] = best;
+  }
+  return profile;
+}
+
+}  // namespace triad::discord

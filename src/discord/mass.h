@@ -1,0 +1,45 @@
+#ifndef TRIAD_DISCORD_MASS_H_
+#define TRIAD_DISCORD_MASS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace triad::discord {
+
+/// \brief Rolling means and standard deviations of all length-m subsequences,
+/// computed in O(n) with prefix sums. Used by MASS and the discord
+/// algorithms' z-normalized distances.
+struct RollingStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;  ///< population stddev; 0 for flat windows
+};
+
+RollingStats ComputeRollingStats(const std::vector<double>& series,
+                                 int64_t m);
+
+/// \brief MASS (Mueen's Algorithm for Similarity Search).
+///
+/// Returns the z-normalized Euclidean distance between `query` (length m)
+/// and every length-m subsequence of `series`, in O(n log n) via one FFT
+/// convolution. Flat windows (stddev 0) get the maximal distance 2*sqrt(m)
+/// unless the query is also flat (distance 0), matching the discord
+/// literature's convention.
+std::vector<double> MassDistanceProfile(const std::vector<double>& series,
+                                        const std::vector<double>& query);
+
+/// Z-normalized Euclidean distance between two equal-length windows with
+/// early abandoning: returns early with a value > `best_so_far` once the
+/// partial sum exceeds it. Exact when the true distance <= best_so_far.
+double ZNormDistanceEarlyAbandon(const double* a, double mean_a, double std_a,
+                                 const double* b, double mean_b, double std_b,
+                                 int64_t m, double best_so_far);
+
+/// \brief Naive matrix profile (nearest non-trivial-match distance for every
+/// subsequence), O(n^2 log n) via per-offset MASS. Reference implementation
+/// for tests and the discord-algorithm comparison bench.
+std::vector<double> MatrixProfileNaive(const std::vector<double>& series,
+                                       int64_t m);
+
+}  // namespace triad::discord
+
+#endif  // TRIAD_DISCORD_MASS_H_

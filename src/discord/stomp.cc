@@ -1,0 +1,116 @@
+#include "discord/stomp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "discord/mass.h"
+#include "signal/fft.h"
+
+namespace triad::discord {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Z-normalized distance from the dot product of two subsequences.
+double DistFromDot(double dot, double mu_a, double sd_a, double mu_b,
+                   double sd_b, int64_t m) {
+  const double max_dist = 2.0 * std::sqrt(static_cast<double>(m));
+  const bool a_flat = sd_a < 1e-12;
+  const bool b_flat = sd_b < 1e-12;
+  if (a_flat || b_flat) return (a_flat && b_flat) ? 0.0 : max_dist;
+  const double corr =
+      (dot - static_cast<double>(m) * mu_a * mu_b) /
+      (static_cast<double>(m) * sd_a * sd_b);
+  return std::sqrt(
+      std::max(0.0, 2.0 * static_cast<double>(m) * (1.0 - std::clamp(corr, -1.0, 1.0))));
+}
+
+}  // namespace
+
+Result<MatrixProfile> Stomp(const std::vector<double>& series, int64_t m) {
+  const int64_t n = static_cast<int64_t>(series.size());
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  if (2 * m > n) {
+    return Status::InvalidArgument(
+        "series too short for non-trivial matches at this length");
+  }
+  const int64_t count = n - m + 1;
+  const int64_t exclusion = m;
+  const RollingStats stats = ComputeRollingStats(series, m);
+
+  MatrixProfile profile;
+  profile.distances.assign(static_cast<size_t>(count), kInf);
+  profile.indices.assign(static_cast<size_t>(count), -1);
+
+  // First row of the dot-product matrix via one FFT pass: QT[j] = dot of
+  // subsequence 0 with subsequence j.
+  std::vector<double> qt(static_cast<size_t>(count));
+  {
+    const std::vector<double> first(series.begin(), series.begin() + m);
+    std::vector<double> reversed(first.rbegin(), first.rend());
+    const std::vector<double> conv = signal::FftConvolve(series, reversed);
+    for (int64_t j = 0; j < count; ++j) {
+      qt[static_cast<size_t>(j)] = conv[static_cast<size_t>(m - 1 + j)];
+    }
+  }
+  const std::vector<double> first_row = qt;  // QT for i = 0, reused below
+
+  for (int64_t i = 0; i < count; ++i) {
+    if (i > 0) {
+      // O(1) sliding update per cell, back to front:
+      // QT_i[j] = QT_{i-1}[j-1] - x[i-1]x[j-1] + x[i+m-1]x[j+m-1].
+      for (int64_t j = count - 1; j >= 1; --j) {
+        qt[static_cast<size_t>(j)] =
+            qt[static_cast<size_t>(j - 1)] -
+            series[static_cast<size_t>(i - 1)] *
+                series[static_cast<size_t>(j - 1)] +
+            series[static_cast<size_t>(i + m - 1)] *
+                series[static_cast<size_t>(j + m - 1)];
+      }
+      qt[0] = first_row[static_cast<size_t>(i)];  // symmetry: QT_i[0] = QT_0[i]
+    }
+    double best = kInf;
+    int64_t best_j = -1;
+    for (int64_t j = 0; j < count; ++j) {
+      if (std::llabs(j - i) < exclusion) continue;
+      const double d = DistFromDot(
+          qt[static_cast<size_t>(j)], stats.mean[static_cast<size_t>(i)],
+          stats.stddev[static_cast<size_t>(i)],
+          stats.mean[static_cast<size_t>(j)],
+          stats.stddev[static_cast<size_t>(j)], m);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    profile.distances[static_cast<size_t>(i)] = best;
+    profile.indices[static_cast<size_t>(i)] = best_j;
+  }
+  return profile;
+}
+
+std::vector<int64_t> TopDiscordsFromProfile(const MatrixProfile& profile,
+                                            int64_t m, int64_t k) {
+  std::vector<int64_t> order(profile.distances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return profile.distances[static_cast<size_t>(a)] >
+           profile.distances[static_cast<size_t>(b)];
+  });
+  std::vector<int64_t> top;
+  for (int64_t candidate : order) {
+    if (!std::isfinite(profile.distances[static_cast<size_t>(candidate)])) {
+      continue;
+    }
+    bool overlaps = false;
+    for (int64_t kept : top) {
+      overlaps = overlaps || std::llabs(candidate - kept) < m;
+    }
+    if (!overlaps) top.push_back(candidate);
+    if (static_cast<int64_t>(top.size()) >= k) break;
+  }
+  return top;
+}
+
+}  // namespace triad::discord

@@ -1,0 +1,57 @@
+#include "eval/range_metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace triad::eval {
+namespace {
+
+// Overlap length of [a, b) with [c, d).
+int64_t Overlap(const Event& x, const Event& y) {
+  return std::max<int64_t>(
+      0, std::min(x.end, y.end) - std::max(x.begin, y.begin));
+}
+
+// Score of one range against the other side's ranges: existence reward if
+// any overlap, plus coverage fraction (flat positional bias).
+double RangeReward(const Event& range, const std::vector<Event>& others,
+                   double alpha) {
+  int64_t covered = 0;
+  bool exists = false;
+  for (const Event& other : others) {
+    const int64_t o = Overlap(range, other);
+    covered += o;
+    exists = exists || o > 0;
+  }
+  const double existence = exists ? 1.0 : 0.0;
+  const double overlap_fraction =
+      static_cast<double>(std::min(covered, range.end - range.begin)) /
+      static_cast<double>(range.end - range.begin);
+  return alpha * existence + (1.0 - alpha) * overlap_fraction;
+}
+
+}  // namespace
+
+RangeScore ComputeRangeScore(const std::vector<int>& pred,
+                             const std::vector<int>& labels, double alpha) {
+  TRIAD_CHECK_EQ(pred.size(), labels.size());
+  TRIAD_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  const std::vector<Event> predicted = ExtractEvents(pred);
+  const std::vector<Event> real = ExtractEvents(labels);
+
+  RangeScore score;
+  if (!predicted.empty()) {
+    double total = 0.0;
+    for (const Event& p : predicted) total += RangeReward(p, real, alpha);
+    score.precision = total / static_cast<double>(predicted.size());
+  }
+  if (!real.empty()) {
+    double total = 0.0;
+    for (const Event& r : real) total += RangeReward(r, predicted, alpha);
+    score.recall = total / static_cast<double>(real.size());
+  }
+  return score;
+}
+
+}  // namespace triad::eval

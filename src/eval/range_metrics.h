@@ -1,0 +1,35 @@
+#ifndef TRIAD_EVAL_RANGE_METRICS_H_
+#define TRIAD_EVAL_RANGE_METRICS_H_
+
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace triad::eval {
+
+/// \brief Range-based precision/recall (Tatbul et al., NeurIPS'18) — the
+/// other rigorous event-aware metric family alongside affiliation.
+///
+/// Each predicted/real range contributes an existence reward plus an overlap
+/// reward weighted by coverage; scores are averaged over ranges. This
+/// implementation uses a flat positional bias and equal existence/overlap
+/// weights (alpha), the configuration most TSAD comparisons use.
+struct RangeScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double F1() const {
+    return precision + recall == 0.0
+               ? 0.0
+               : 2.0 * precision * recall / (precision + recall);
+  }
+};
+
+/// \param alpha weight of the existence reward in [0, 1]; the remaining
+///        (1 - alpha) weights the size of the overlap.
+RangeScore ComputeRangeScore(const std::vector<int>& pred,
+                             const std::vector<int>& labels,
+                             double alpha = 0.5);
+
+}  // namespace triad::eval
+
+#endif  // TRIAD_EVAL_RANGE_METRICS_H_

@@ -1,0 +1,35 @@
+#include "nn/grad_check.h"
+
+#include <cmath>
+
+namespace triad::nn {
+
+double MaxGradError(const std::function<Var(const std::vector<Var>&)>& fn,
+                    std::vector<Var> leaves, double step, double tol) {
+  // Analytic gradients.
+  for (const auto& leaf : leaves) leaf.ZeroGrad();
+  Var loss = fn(leaves);
+  loss.Backward();
+
+  double max_err = 0.0;
+  for (auto& leaf : leaves) {
+    Tensor analytic = leaf.has_grad() ? leaf.grad()
+                                      : Tensor::Zeros(leaf.shape());
+    Tensor& value = leaf.mutable_value();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      const float original = value[i];
+      value[i] = original + static_cast<float>(step);
+      const double up = fn(leaves).value()[0];
+      value[i] = original - static_cast<float>(step);
+      const double down = fn(leaves).value()[0];
+      value[i] = original;
+      const double fd = (up - down) / (2.0 * step);
+      const double err =
+          std::abs(analytic[i] - fd) / (std::abs(fd) + tol);
+      if (err > max_err) max_err = err;
+    }
+  }
+  return max_err;
+}
+
+}  // namespace triad::nn

@@ -1,0 +1,23 @@
+#ifndef TRIAD_NN_GRAD_CHECK_H_
+#define TRIAD_NN_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace triad::nn {
+
+/// \brief Compares autograd gradients against central finite differences.
+///
+/// `fn` must build a scalar loss from the given leaves each time it is
+/// called (the graph is rebuilt per evaluation). Returns the maximum
+/// relative error max(|g_ad - g_fd| / (|g_fd| + tol)) over all elements of
+/// all leaves.
+double MaxGradError(const std::function<Var(const std::vector<Var>&)>& fn,
+                    std::vector<Var> leaves, double step = 1e-3,
+                    double tol = 1e-4);
+
+}  // namespace triad::nn
+
+#endif  // TRIAD_NN_GRAD_CHECK_H_

@@ -1,0 +1,836 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace triad::nn {
+namespace {
+
+// Broadcast pattern of a binary op's right operand.
+enum class Bcast { kSame, kScalar, kSuffix };
+
+Bcast ClassifyBroadcast(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) return Bcast::kSame;
+  if (b.size() == 1) return Bcast::kScalar;
+  const auto& as = a.shape();
+  const auto& bs = b.shape();
+  if (bs.size() < as.size() &&
+      std::equal(bs.begin(), bs.end(), as.end() - bs.size())) {
+    return Bcast::kSuffix;
+  }
+  TRIAD_CHECK_MSG(false, "incompatible broadcast: " << a.ShapeString()
+                                                    << " vs " << b.ShapeString());
+}
+
+// Reduces `grad` (shaped like the op output) to `b_shape` under the given
+// broadcast pattern: identity, sum-to-scalar, or sum over leading dims.
+Tensor ReduceGradToShape(const Tensor& grad, const std::vector<int64_t>& b_shape,
+                         Bcast pattern) {
+  if (pattern == Bcast::kSame) return grad;
+  if (pattern == Bcast::kScalar) {
+    double s = 0.0;
+    for (int64_t i = 0; i < grad.size(); ++i) s += grad[i];
+    Tensor out(b_shape);
+    out[0] = static_cast<float>(s);
+    return out;
+  }
+  Tensor out(b_shape);
+  const int64_t inner = out.size();
+  const int64_t outer = grad.size() / inner;
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* g = grad.data() + o * inner;
+    float* dst = out.data();
+    for (int64_t i = 0; i < inner; ++i) dst[i] += g[i];
+  }
+  return out;
+}
+
+// Builds the forward value of a binary elementwise op.
+template <typename F>
+Tensor BinaryForward(const Tensor& a, const Tensor& b, Bcast pattern, F f) {
+  Tensor out(a.shape());
+  const int64_t n = a.size();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  if (pattern == Bcast::kSame) {
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  } else if (pattern == Bcast::kScalar) {
+    const float c = pb[0];
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], c);
+  } else {
+    const int64_t inner = b.size();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i % inner]);
+  }
+  return out;
+}
+
+float BroadcastAt(const Tensor& b, Bcast pattern, int64_t i) {
+  if (pattern == Bcast::kScalar) return b[0];
+  if (pattern == Bcast::kSuffix) return b[i % b.size()];
+  return b[i];
+}
+
+}  // namespace
+
+Var Constant(Tensor value) { return Var(std::move(value), false); }
+
+Var Add(const Var& a, const Var& b) {
+  const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
+  Tensor out = BinaryForward(a.value(), b.value(), pattern,
+                             [](float x, float y) { return x + y; });
+  auto an = a.node();
+  auto bn = b.node();
+  return Var::MakeNode(std::move(out), {an, bn}, [an, bn, pattern](Node& n) {
+    if (an->requires_grad) an->AccumulateGrad(n.grad);
+    if (bn->requires_grad) {
+      bn->AccumulateGrad(
+          ReduceGradToShape(n.grad, bn->value.shape(), pattern));
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
+  Tensor out = BinaryForward(a.value(), b.value(), pattern,
+                             [](float x, float y) { return x - y; });
+  auto an = a.node();
+  auto bn = b.node();
+  return Var::MakeNode(std::move(out), {an, bn}, [an, bn, pattern](Node& n) {
+    if (an->requires_grad) an->AccumulateGrad(n.grad);
+    if (bn->requires_grad) {
+      Tensor neg = n.grad;
+      neg.ScaleInPlace(-1.0f);
+      bn->AccumulateGrad(ReduceGradToShape(neg, bn->value.shape(), pattern));
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
+  Tensor out = BinaryForward(a.value(), b.value(), pattern,
+                             [](float x, float y) { return x * y; });
+  auto an = a.node();
+  auto bn = b.node();
+  return Var::MakeNode(std::move(out), {an, bn}, [an, bn, pattern](Node& n) {
+    const int64_t total = n.grad.size();
+    if (an->requires_grad) {
+      Tensor da(an->value.shape());
+      for (int64_t i = 0; i < total; ++i) {
+        da[i] = n.grad[i] * BroadcastAt(bn->value, pattern, i);
+      }
+      an->AccumulateGrad(da);
+    }
+    if (bn->requires_grad) {
+      Tensor full(an->value.shape());
+      for (int64_t i = 0; i < total; ++i) full[i] = n.grad[i] * an->value[i];
+      bn->AccumulateGrad(ReduceGradToShape(full, bn->value.shape(), pattern));
+    }
+  });
+}
+
+Var Div(const Var& a, const Var& b) {
+  const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
+  Tensor out = BinaryForward(a.value(), b.value(), pattern,
+                             [](float x, float y) { return x / y; });
+  auto an = a.node();
+  auto bn = b.node();
+  return Var::MakeNode(std::move(out), {an, bn}, [an, bn, pattern](Node& n) {
+    const int64_t total = n.grad.size();
+    if (an->requires_grad) {
+      Tensor da(an->value.shape());
+      for (int64_t i = 0; i < total; ++i) {
+        da[i] = n.grad[i] / BroadcastAt(bn->value, pattern, i);
+      }
+      an->AccumulateGrad(da);
+    }
+    if (bn->requires_grad) {
+      Tensor full(an->value.shape());
+      for (int64_t i = 0; i < total; ++i) {
+        const float y = BroadcastAt(bn->value, pattern, i);
+        full[i] = -n.grad[i] * an->value[i] / (y * y);
+      }
+      bn->AccumulateGrad(ReduceGradToShape(full, bn->value.shape(), pattern));
+    }
+  });
+}
+
+Var AddScalar(const Var& a, float c) {
+  Tensor out = a.value();
+  float* p = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) p[i] += c;
+  auto an = a.node();
+  return Var::MakeNode(std::move(out), {an}, [an](Node& n) {
+    if (an->requires_grad) an->AccumulateGrad(n.grad);
+  });
+}
+
+Var MulScalar(const Var& a, float c) {
+  Tensor out = a.value();
+  out.ScaleInPlace(c);
+  auto an = a.node();
+  return Var::MakeNode(std::move(out), {an}, [an, c](Node& n) {
+    if (!an->requires_grad) return;
+    Tensor g = n.grad;
+    g.ScaleInPlace(c);
+    an->AccumulateGrad(g);
+  });
+}
+
+Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
+
+namespace {
+
+// Shared scaffolding for unary elementwise ops. `dfn` maps (x, y) -> dy/dx
+// where y = fn(x).
+template <typename Fn, typename Dfn>
+Var UnaryOp(const Var& a, Fn fn, Dfn dfn) {
+  Tensor out(a.value().shape());
+  const int64_t n = out.size();
+  for (int64_t i = 0; i < n; ++i) out[i] = fn(a.value()[i]);
+  auto an = a.node();
+  // Capture the output by value so dfn can use y without recomputation.
+  Tensor saved = out;
+  return Var::MakeNode(std::move(out), {an},
+                       [an, dfn, saved = std::move(saved)](Node& nd) {
+                         if (!an->requires_grad) return;
+                         Tensor g(an->value.shape());
+                         const int64_t m = g.size();
+                         for (int64_t i = 0; i < m; ++i) {
+                           g[i] = nd.grad[i] * dfn(an->value[i], saved[i]);
+                         }
+                         an->AccumulateGrad(g);
+                       });
+}
+
+}  // namespace
+
+Var Relu(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Var LeakyRelu(const Var& a, float slope) {
+  return UnaryOp(
+      a, [slope](float x) { return x > 0 ? x : slope * x; },
+      [slope](float x, float) { return x > 0 ? 1.0f : slope; });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        if (x >= 0) {
+          const float z = std::exp(-x);
+          return 1.0f / (1.0f + z);
+        }
+        const float z = std::exp(x);
+        return z / (1.0f + z);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Var Exp(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Var Log(const Var& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Var Sqrt(const Var& a, float eps) {
+  return UnaryOp(
+      a, [eps](float x) { return std::sqrt(std::max(x, eps)); },
+      [eps](float x, float y) {
+        (void)x;
+        return 0.5f / std::max(y, eps);
+      });
+}
+
+Var Square(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Var Gelu(const Var& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return UnaryOp(
+      a,
+      [](float x) {
+        const float t = std::tanh(kC * (x + 0.044715f * x * x * x));
+        return 0.5f * x * (1.0f + t);
+      },
+      [](float x, float) {
+        const float u = kC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+namespace {
+
+// C = A[m,k] * B[k,n] (optionally accumulating) — cache-friendly ikj order.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C += A^T[k,m]^T... specifically C[m,n] += A[k,m]^T * B[k,n].
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,k] += A[m,n] * B[k,n]^T.
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t n,
+                int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += arow[j] * brow[j];
+      crow[p] += dot;
+    }
+  }
+}
+
+}  // namespace
+
+Var MatMul(const Var& a, const Var& b) {
+  const Tensor& av = a.value();
+  const Tensor& bv = b.value();
+  auto an = a.node();
+  auto bn = b.node();
+
+  if (av.ndim() == 2 && bv.ndim() == 2) {
+    const int64_t m = av.dim(0), k = av.dim(1), n = bv.dim(1);
+    TRIAD_CHECK_EQ(bv.dim(0), k);
+    Tensor out({m, n});
+    Gemm(av.data(), bv.data(), out.data(), m, k, n);
+    return Var::MakeNode(std::move(out), {an, bn}, [an, bn, m, k, n](Node& nd) {
+      if (an->requires_grad) {
+        Tensor da({m, k});
+        GemmTransB(nd.grad.data(), bn->value.data(), da.data(), m, n, k);
+        an->AccumulateGrad(da);
+      }
+      if (bn->requires_grad) {
+        Tensor db({k, n});
+        GemmTransA(an->value.data(), nd.grad.data(), db.data(), k, m, n);
+        bn->AccumulateGrad(db);
+      }
+    });
+  }
+
+  if (av.ndim() == 3 && bv.ndim() == 2) {
+    const int64_t bsz = av.dim(0), m = av.dim(1), k = av.dim(2), n = bv.dim(1);
+    TRIAD_CHECK_EQ(bv.dim(0), k);
+    Tensor out({bsz, m, n});
+    for (int64_t i = 0; i < bsz; ++i) {
+      Gemm(av.data() + i * m * k, bv.data(), out.data() + i * m * n, m, k, n);
+    }
+    return Var::MakeNode(
+        std::move(out), {an, bn}, [an, bn, bsz, m, k, n](Node& nd) {
+          if (an->requires_grad) {
+            Tensor da({bsz, m, k});
+            for (int64_t i = 0; i < bsz; ++i) {
+              GemmTransB(nd.grad.data() + i * m * n, bn->value.data(),
+                         da.data() + i * m * k, m, n, k);
+            }
+            an->AccumulateGrad(da);
+          }
+          if (bn->requires_grad) {
+            Tensor db({k, n});
+            for (int64_t i = 0; i < bsz; ++i) {
+              GemmTransA(an->value.data() + i * m * k,
+                         nd.grad.data() + i * m * n, db.data(), k, m, n);
+            }
+            bn->AccumulateGrad(db);
+          }
+        });
+  }
+
+  if (av.ndim() == 3 && bv.ndim() == 3) {
+    const int64_t bsz = av.dim(0), m = av.dim(1), k = av.dim(2), n = bv.dim(2);
+    TRIAD_CHECK_EQ(bv.dim(0), bsz);
+    TRIAD_CHECK_EQ(bv.dim(1), k);
+    Tensor out({bsz, m, n});
+    for (int64_t i = 0; i < bsz; ++i) {
+      Gemm(av.data() + i * m * k, bv.data() + i * k * n,
+           out.data() + i * m * n, m, k, n);
+    }
+    return Var::MakeNode(
+        std::move(out), {an, bn}, [an, bn, bsz, m, k, n](Node& nd) {
+          if (an->requires_grad) {
+            Tensor da({bsz, m, k});
+            for (int64_t i = 0; i < bsz; ++i) {
+              GemmTransB(nd.grad.data() + i * m * n, bn->value.data() + i * k * n,
+                         da.data() + i * m * k, m, n, k);
+            }
+            an->AccumulateGrad(da);
+          }
+          if (bn->requires_grad) {
+            Tensor db({bsz, k, n});
+            for (int64_t i = 0; i < bsz; ++i) {
+              GemmTransA(an->value.data() + i * m * k,
+                         nd.grad.data() + i * m * n, db.data() + i * k * n, k,
+                         m, n);
+            }
+            bn->AccumulateGrad(db);
+          }
+        });
+  }
+
+  TRIAD_CHECK_MSG(false, "MatMul: unsupported shapes " << av.ShapeString()
+                                                       << " x "
+                                                       << bv.ShapeString());
+}
+
+namespace {
+
+Tensor TransposeLast2Tensor(const Tensor& t) {
+  TRIAD_CHECK_GE(t.ndim(), 2);
+  const int64_t m = t.dim(t.ndim() - 2);
+  const int64_t n = t.dim(t.ndim() - 1);
+  int64_t batch = 1;
+  for (int i = 0; i + 2 < t.ndim(); ++i) batch *= t.dim(i);
+  std::vector<int64_t> out_shape = t.shape();
+  std::swap(out_shape[out_shape.size() - 2], out_shape.back());
+  Tensor out(out_shape);
+  for (int64_t s = 0; s < batch; ++s) {
+    const float* src = t.data() + s * m * n;
+    float* dst = out.data() + s * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) dst[j * m + i] = src[i * n + j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Var TransposeLast2(const Var& a) {
+  Tensor out = TransposeLast2Tensor(a.value());
+  auto an = a.node();
+  return Var::MakeNode(std::move(out), {an}, [an](Node& nd) {
+    if (an->requires_grad) an->AccumulateGrad(TransposeLast2Tensor(nd.grad));
+  });
+}
+
+Var Conv1d(const Var& input, const Var& weight, const Var& bias,
+           int64_t dilation, int64_t pad_left, int64_t pad_right) {
+  const Tensor& x = input.value();
+  const Tensor& w = weight.value();
+  TRIAD_CHECK_EQ(x.ndim(), 3);
+  TRIAD_CHECK_EQ(w.ndim(), 3);
+  const int64_t B = x.dim(0), Cin = x.dim(1), L = x.dim(2);
+  const int64_t Cout = w.dim(0), K = w.dim(2);
+  TRIAD_CHECK_EQ(w.dim(1), Cin);
+  TRIAD_CHECK_GE(dilation, 1);
+  const int64_t Lpad = L + pad_left + pad_right;
+  const int64_t Lout = Lpad - dilation * (K - 1);
+  TRIAD_CHECK_MSG(Lout >= 1, "Conv1d output would be empty: L=" << L << " K="
+                                                                << K);
+  const bool has_bias = !bias.empty();
+  if (has_bias) {
+    TRIAD_CHECK_EQ(bias.value().ndim(), 1);
+    TRIAD_CHECK_EQ(bias.value().dim(0), Cout);
+  }
+
+  // Materialize the zero-padded input once; both passes index into it.
+  Tensor xpad({B, Cin, Lpad});
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t c = 0; c < Cin; ++c) {
+      const float* src = x.data() + (b * Cin + c) * L;
+      float* dst = xpad.data() + (b * Cin + c) * Lpad + pad_left;
+      std::copy(src, src + L, dst);
+    }
+  }
+
+  Tensor out({B, Cout, Lout});
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t co = 0; co < Cout; ++co) {
+      float* orow = out.data() + (b * Cout + co) * Lout;
+      if (has_bias) {
+        const float bv = bias.value()[co];
+        for (int64_t t = 0; t < Lout; ++t) orow[t] = bv;
+      }
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        const float* xrow = xpad.data() + (b * Cin + ci) * Lpad;
+        const float* wrow = w.data() + (co * Cin + ci) * K;
+        for (int64_t k = 0; k < K; ++k) {
+          const float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          const float* xs = xrow + k * dilation;
+          for (int64_t t = 0; t < Lout; ++t) orow[t] += wv * xs[t];
+        }
+      }
+    }
+  }
+
+  auto xn = input.node();
+  auto wn = weight.node();
+  std::vector<std::shared_ptr<Node>> parents = {xn, wn};
+  std::shared_ptr<Node> bnode;
+  if (has_bias) {
+    bnode = bias.node();
+    parents.push_back(bnode);
+  }
+
+  return Var::MakeNode(
+      std::move(out), std::move(parents),
+      [xn, wn, bnode, xpad = std::move(xpad), B, Cin, Cout, K, L, Lpad, Lout,
+       dilation, pad_left](Node& nd) {
+        const Tensor& g = nd.grad;
+        if (xn->requires_grad) {
+          Tensor gxpad({B, Cin, Lpad});
+          for (int64_t b = 0; b < B; ++b) {
+            for (int64_t co = 0; co < Cout; ++co) {
+              const float* grow = g.data() + (b * Cout + co) * Lout;
+              for (int64_t ci = 0; ci < Cin; ++ci) {
+                float* xrow = gxpad.data() + (b * Cin + ci) * Lpad;
+                const float* wrow = wn->value.data() + (co * Cin + ci) * K;
+                for (int64_t k = 0; k < K; ++k) {
+                  const float wv = wrow[k];
+                  if (wv == 0.0f) continue;
+                  float* xs = xrow + k * dilation;
+                  for (int64_t t = 0; t < Lout; ++t) xs[t] += wv * grow[t];
+                }
+              }
+            }
+          }
+          Tensor gx({B, Cin, L});
+          for (int64_t b = 0; b < B; ++b) {
+            for (int64_t c = 0; c < Cin; ++c) {
+              const float* src = gxpad.data() + (b * Cin + c) * Lpad + pad_left;
+              float* dst = gx.data() + (b * Cin + c) * L;
+              std::copy(src, src + L, dst);
+            }
+          }
+          xn->AccumulateGrad(gx);
+        }
+        if (wn->requires_grad) {
+          Tensor gw({Cout, Cin, K});
+          for (int64_t b = 0; b < B; ++b) {
+            for (int64_t co = 0; co < Cout; ++co) {
+              const float* grow = g.data() + (b * Cout + co) * Lout;
+              for (int64_t ci = 0; ci < Cin; ++ci) {
+                const float* xrow = xpad.data() + (b * Cin + ci) * Lpad;
+                float* wrow = gw.data() + (co * Cin + ci) * K;
+                for (int64_t k = 0; k < K; ++k) {
+                  const float* xs = xrow + k * dilation;
+                  float dot = 0.0f;
+                  for (int64_t t = 0; t < Lout; ++t) dot += xs[t] * grow[t];
+                  wrow[k] += dot;
+                }
+              }
+            }
+          }
+          wn->AccumulateGrad(gw);
+        }
+        if (bnode && bnode->requires_grad) {
+          Tensor gb({Cout});
+          for (int64_t b = 0; b < B; ++b) {
+            for (int64_t co = 0; co < Cout; ++co) {
+              const float* grow = g.data() + (b * Cout + co) * Lout;
+              float s = 0.0f;
+              for (int64_t t = 0; t < Lout; ++t) s += grow[t];
+              gb[co] += s;
+            }
+          }
+          bnode->AccumulateGrad(gb);
+        }
+      });
+}
+
+Var SumAll(const Var& a) {
+  double s = 0.0;
+  for (int64_t i = 0; i < a.value().size(); ++i) s += a.value()[i];
+  auto an = a.node();
+  return Var::MakeNode(Tensor::Scalar(static_cast<float>(s)), {an},
+                       [an](Node& nd) {
+                         if (!an->requires_grad) return;
+                         an->AccumulateGrad(
+                             Tensor::Full(an->value.shape(), nd.grad[0]));
+                       });
+}
+
+Var MeanAll(const Var& a) {
+  return MulScalar(SumAll(a), 1.0f / static_cast<float>(a.value().size()));
+}
+
+namespace {
+
+// Decomposes a shape around `axis` into (outer, axis_len, inner) products.
+void AxisFactors(const std::vector<int64_t>& shape, int axis, int64_t* outer,
+                 int64_t* axis_len, int64_t* inner) {
+  TRIAD_CHECK(axis >= 0 && axis < static_cast<int>(shape.size()));
+  *outer = 1;
+  *inner = 1;
+  for (int i = 0; i < axis; ++i) *outer *= shape[static_cast<size_t>(i)];
+  *axis_len = shape[static_cast<size_t>(axis)];
+  for (size_t i = static_cast<size_t>(axis) + 1; i < shape.size(); ++i) {
+    *inner *= shape[i];
+  }
+}
+
+std::vector<int64_t> ReducedShape(const std::vector<int64_t>& shape, int axis,
+                                  bool keepdim) {
+  std::vector<int64_t> out = shape;
+  if (keepdim) {
+    out[static_cast<size_t>(axis)] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+  }
+  return out;
+}
+
+}  // namespace
+
+Var Sum(const Var& a, int axis, bool keepdim) {
+  int64_t outer, axis_len, inner;
+  AxisFactors(a.shape(), axis, &outer, &axis_len, &inner);
+  Tensor out(ReducedShape(a.shape(), axis, keepdim));
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t x = 0; x < axis_len; ++x) {
+      const float* src = a.value().data() + (o * axis_len + x) * inner;
+      float* dst = out.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  auto an = a.node();
+  return Var::MakeNode(std::move(out), {an},
+                       [an, outer, axis_len, inner](Node& nd) {
+                         if (!an->requires_grad) return;
+                         Tensor g(an->value.shape());
+                         for (int64_t o = 0; o < outer; ++o) {
+                           const float* src = nd.grad.data() + o * inner;
+                           for (int64_t x = 0; x < axis_len; ++x) {
+                             float* dst = g.data() + (o * axis_len + x) * inner;
+                             for (int64_t i = 0; i < inner; ++i) {
+                               dst[i] += src[i];
+                             }
+                           }
+                         }
+                         an->AccumulateGrad(g);
+                       });
+}
+
+Var Mean(const Var& a, int axis, bool keepdim) {
+  const int64_t axis_len = a.shape()[static_cast<size_t>(axis)];
+  return MulScalar(Sum(a, axis, keepdim), 1.0f / static_cast<float>(axis_len));
+}
+
+Var Reshape(const Var& a, std::vector<int64_t> shape) {
+  Tensor out = a.value().Reshaped(std::move(shape));
+  auto an = a.node();
+  return Var::MakeNode(std::move(out), {an}, [an](Node& nd) {
+    if (an->requires_grad) {
+      an->AccumulateGrad(nd.grad.Reshaped(an->value.shape()));
+    }
+  });
+}
+
+Var ExpandLastDim(const Var& a, int64_t n) {
+  const Tensor& v = a.value();
+  TRIAD_CHECK_GE(v.ndim(), 1);
+  TRIAD_CHECK_EQ(v.shape().back(), 1);
+  std::vector<int64_t> out_shape = v.shape();
+  out_shape.back() = n;
+  Tensor out(out_shape);
+  const int64_t rows = v.size();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* dst = out.data() + r * n;
+    const float val = v[r];
+    for (int64_t i = 0; i < n; ++i) dst[i] = val;
+  }
+  auto an = a.node();
+  return Var::MakeNode(std::move(out), {an}, [an, n, rows](Node& nd) {
+    if (!an->requires_grad) return;
+    Tensor g(an->value.shape());
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* src = nd.grad.data() + r * n;
+      float s = 0.0f;
+      for (int64_t i = 0; i < n; ++i) s += src[i];
+      g[r] = s;
+    }
+    an->AccumulateGrad(g);
+  });
+}
+
+Var Concat(const std::vector<Var>& parts, int axis) {
+  TRIAD_CHECK(!parts.empty());
+  const auto& first_shape = parts[0].shape();
+  int64_t outer, inner, unused_axis;
+  AxisFactors(first_shape, axis, &outer, &unused_axis, &inner);
+  int64_t total_axis = 0;
+  std::vector<int64_t> axis_lens;
+  for (const auto& p : parts) {
+    const auto& s = p.shape();
+    TRIAD_CHECK_EQ(s.size(), first_shape.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (static_cast<int>(i) != axis) TRIAD_CHECK_EQ(s[i], first_shape[i]);
+    }
+    axis_lens.push_back(s[static_cast<size_t>(axis)]);
+    total_axis += s[static_cast<size_t>(axis)];
+  }
+  std::vector<int64_t> out_shape = first_shape;
+  out_shape[static_cast<size_t>(axis)] = total_axis;
+  Tensor out(out_shape);
+  int64_t offset = 0;
+  for (size_t pi = 0; pi < parts.size(); ++pi) {
+    const Tensor& v = parts[pi].value();
+    const int64_t alen = axis_lens[pi];
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = v.data() + o * alen * inner;
+      float* dst = out.data() + (o * total_axis + offset) * inner;
+      std::copy(src, src + alen * inner, dst);
+    }
+    offset += alen;
+  }
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(parts.size());
+  for (const auto& p : parts) parents.push_back(p.node());
+  return Var::MakeNode(
+      std::move(out), parents,
+      [parents, axis_lens, outer, inner, total_axis](Node& nd) {
+        int64_t off = 0;
+        for (size_t pi = 0; pi < parents.size(); ++pi) {
+          const int64_t alen = axis_lens[pi];
+          if (parents[pi]->requires_grad) {
+            Tensor g(parents[pi]->value.shape());
+            for (int64_t o = 0; o < outer; ++o) {
+              const float* src = nd.grad.data() + (o * total_axis + off) * inner;
+              float* dst = g.data() + o * alen * inner;
+              std::copy(src, src + alen * inner, dst);
+            }
+            parents[pi]->AccumulateGrad(g);
+          }
+          off += alen;
+        }
+      });
+}
+
+Var Slice(const Var& a, int axis, int64_t start, int64_t length) {
+  int64_t outer, axis_len, inner;
+  AxisFactors(a.shape(), axis, &outer, &axis_len, &inner);
+  TRIAD_CHECK(start >= 0 && length >= 1 && start + length <= axis_len);
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape[static_cast<size_t>(axis)] = length;
+  Tensor out(out_shape);
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = a.value().data() + (o * axis_len + start) * inner;
+    float* dst = out.data() + o * length * inner;
+    std::copy(src, src + length * inner, dst);
+  }
+  auto an = a.node();
+  return Var::MakeNode(
+      std::move(out), {an},
+      [an, outer, axis_len, inner, start, length](Node& nd) {
+        if (!an->requires_grad) return;
+        Tensor g(an->value.shape());
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* src = nd.grad.data() + o * length * inner;
+          float* dst = g.data() + (o * axis_len + start) * inner;
+          std::copy(src, src + length * inner, dst);
+        }
+        an->AccumulateGrad(g);
+      });
+}
+
+Var Softmax(const Var& a) {
+  const Tensor& v = a.value();
+  TRIAD_CHECK_GE(v.ndim(), 1);
+  const int64_t n = v.shape().back();
+  const int64_t rows = v.size() / n;
+  Tensor out(v.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = v.data() + r * n;
+    float* dst = out.data() + r * n;
+    float mx = src[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, src[i]);
+    float denom = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] = std::exp(src[i] - mx);
+      denom += dst[i];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+  }
+  auto an = a.node();
+  Tensor saved = out;
+  return Var::MakeNode(std::move(out), {an},
+                       [an, saved = std::move(saved), rows, n](Node& nd) {
+                         if (!an->requires_grad) return;
+                         Tensor g(an->value.shape());
+                         for (int64_t r = 0; r < rows; ++r) {
+                           const float* y = saved.data() + r * n;
+                           const float* dy = nd.grad.data() + r * n;
+                           float dot = 0.0f;
+                           for (int64_t i = 0; i < n; ++i) dot += y[i] * dy[i];
+                           float* dst = g.data() + r * n;
+                           for (int64_t i = 0; i < n; ++i) {
+                             dst[i] = y[i] * (dy[i] - dot);
+                           }
+                         }
+                         an->AccumulateGrad(g);
+                       });
+}
+
+Var L2NormalizeLastDim(const Var& a, float eps) {
+  const int axis = a.value().ndim() - 1;
+  Var sq = Square(a);
+  Var norm = Sqrt(AddScalar(Sum(sq, axis, /*keepdim=*/true), eps));
+  Var expanded = ExpandLastDim(norm, a.shape().back());
+  return Div(a, expanded);
+}
+
+Var MseLoss(const Var& pred, const Var& target) {
+  return MeanAll(Square(Sub(pred, target)));
+}
+
+Var LayerNormLastDim(const Var& a, const Var& gain, const Var& bias,
+                     float eps) {
+  const int axis = a.value().ndim() - 1;
+  const int64_t n = a.shape().back();
+  Var mu = Mean(a, axis, /*keepdim=*/true);
+  Var centered = Sub(a, ExpandLastDim(mu, n));
+  Var var = Mean(Square(centered), axis, /*keepdim=*/true);
+  Var normed = Div(centered, ExpandLastDim(Sqrt(AddScalar(var, eps)), n));
+  if (!gain.empty()) normed = Mul(normed, gain);
+  if (!bias.empty()) normed = Add(normed, bias);
+  return normed;
+}
+
+}  // namespace triad::nn

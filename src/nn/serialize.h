@@ -1,0 +1,40 @@
+#ifndef TRIAD_NN_SERIALIZE_H_
+#define TRIAD_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/tensor.h"
+#include "nn/variable.h"
+
+namespace triad::nn {
+
+/// \file Binary tensor (de)serialization.
+///
+/// Format (little-endian): magic "TRTN", u32 version, u64 tensor count;
+/// per tensor: u32 ndim, i64 dims..., f32 data. Used for model checkpoints
+/// (see core::TriadDetector::Save) and standalone tensor dumps.
+
+/// Writes tensors to a stream.
+Status WriteTensors(std::ostream& out, const std::vector<Tensor>& tensors);
+
+/// Reads tensors written by WriteTensors.
+Result<std::vector<Tensor>> ReadTensors(std::istream& in);
+
+/// Writes tensors to a file.
+Status SaveTensors(const std::string& path,
+                   const std::vector<Tensor>& tensors);
+
+/// Reads tensors from a file.
+Result<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+/// Copies loaded values into an existing parameter set (e.g. a freshly
+/// constructed model); counts and shapes must match exactly.
+Status AssignParameters(const std::vector<Tensor>& values,
+                        const std::vector<Var>& params);
+
+}  // namespace triad::nn
+
+#endif  // TRIAD_NN_SERIALIZE_H_

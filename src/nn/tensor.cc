@@ -1,0 +1,133 @@
+#include "nn/tensor.h"
+
+#include <sstream>
+
+namespace triad::nn {
+
+int64_t ShapeSize(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TRIAD_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(ShapeSize(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  TRIAD_CHECK_MSG(ShapeSize(shape_) == static_cast<int64_t>(data_.size()),
+                  "shape " << ShapeString() << " does not match data size "
+                           << data_.size());
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng->Normal());
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
+                       Rng* rng) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng->Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<double>& v) {
+  Tensor t({static_cast<int64_t>(v.size())});
+  for (size_t i = 0; i < v.size(); ++i) t.data_[i] = static_cast<float>(v[i]);
+  return t;
+}
+
+int64_t Tensor::dim(int i) const {
+  TRIAD_CHECK_GE(i, 0);
+  TRIAD_CHECK_LT(i, ndim());
+  return shape_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t i) {
+  TRIAD_CHECK_EQ(ndim(), 1);
+  TRIAD_CHECK(i >= 0 && i < shape_[0]);
+  return data_[static_cast<size_t>(i)];
+}
+
+float& Tensor::at(int64_t i, int64_t j) {
+  TRIAD_CHECK_EQ(ndim(), 2);
+  TRIAD_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+  return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  TRIAD_CHECK_EQ(ndim(), 3);
+  TRIAD_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+              k < shape_[2]);
+  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float Tensor::at(int64_t i) const { return const_cast<Tensor*>(this)->at(i); }
+float Tensor::at(int64_t i, int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  TRIAD_CHECK_MSG(ShapeSize(new_shape) == size(),
+                  "cannot reshape " << ShapeString() << " to size "
+                                    << ShapeSize(new_shape));
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::Fill(float value) {
+  for (auto& x : data_) x = value;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  TRIAD_CHECK_MSG(SameShape(other), "AddInPlace shape mismatch: "
+                                        << ShapeString() << " vs "
+                                        << other.ShapeString());
+  const float* src = other.data();
+  float* dst = data();
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Tensor::ScaleInPlace(float factor) {
+  for (auto& x : data_) x *= factor;
+}
+
+std::vector<double> Tensor::ToVector() const {
+  std::vector<double> out(data_.size());
+  for (size_t i = 0; i < data_.size(); ++i) out[i] = data_[i];
+  return out;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace triad::nn

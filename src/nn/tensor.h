@@ -1,0 +1,88 @@
+#ifndef TRIAD_NN_TENSOR_H_
+#define TRIAD_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace triad::nn {
+
+/// \brief Dense row-major float tensor of rank 0..4.
+///
+/// This is the storage type underneath the autograd graph (see variable.h).
+/// It has value semantics: copies duplicate the buffer, moves are cheap.
+/// Shapes are validated with TRIAD_CHECK since shape mismatches are
+/// programming errors, not data errors.
+class Tensor {
+ public:
+  /// Rank-0 scalar 0.0f.
+  Tensor() : shape_{}, data_(1, 0.0f) {}
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Tensor with the given shape and flat row-major contents.
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor Scalar(float value);
+  /// i.i.d. N(0, 1) entries.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng);
+  /// i.i.d. U(lo, hi) entries.
+  static Tensor Uniform(std::vector<int64_t> shape, float lo, float hi, Rng* rng);
+  /// 1-D tensor from doubles (convenience for the signal-processing layer).
+  static Tensor FromVector(const std::vector<double>& v);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t dim(int i) const;
+  /// Total number of elements.
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Element accessors with per-axis bounds checks.
+  float& at(int64_t i);
+  float& at(int64_t i, int64_t j);
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i) const;
+  float at(int64_t i, int64_t j) const;
+  float at(int64_t i, int64_t j, int64_t k) const;
+
+  /// Returns a reshaped copy sharing no storage; sizes must match.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Elementwise in-place helpers used by optimizers and grad accumulation.
+  void AddInPlace(const Tensor& other);
+  void ScaleInPlace(float factor);
+
+  /// True if shapes are identical.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Flat contents as doubles (convenience for metrics and plots).
+  std::vector<double> ToVector() const;
+
+  /// "[2, 3]" style shape string for error messages.
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape (empty shape = scalar = 1).
+int64_t ShapeSize(const std::vector<int64_t>& shape);
+
+}  // namespace triad::nn
+
+#endif  // TRIAD_NN_TENSOR_H_

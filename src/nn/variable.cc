@@ -1,0 +1,90 @@
+#include "nn/variable.h"
+
+#include <unordered_set>
+
+namespace triad::nn {
+
+void Node::AccumulateGrad(const Tensor& delta) {
+  if (!grad_allocated) {
+    grad = Tensor::Zeros(value.shape());
+    grad_allocated = true;
+  }
+  grad.AddInPlace(delta);
+}
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Var Var::MakeNode(Tensor value, std::vector<std::shared_ptr<Node>> parents,
+                  std::function<void(Node&)> backward) {
+  Var v;
+  v.node_ = std::make_shared<Node>();
+  v.node_->value = std::move(value);
+  bool any_grad = false;
+  for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
+  v.node_->requires_grad = any_grad;
+  if (any_grad) {
+    v.node_->parents = std::move(parents);
+    v.node_->backward = std::move(backward);
+  }
+  return v;
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents after
+// children in `order` means we traverse `order` forward for backprop after
+// reversing). Recursion is avoided because LSTM graphs can be thousands of
+// nodes deep.
+void TopoSort(const std::shared_ptr<Node>& root,
+              std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Var::Backward() const {
+  TRIAD_CHECK(!empty());
+  TRIAD_CHECK_MSG(node_->value.size() == 1,
+                  "Backward() requires a scalar, got shape "
+                      << node_->value.ShapeString());
+  if (!node_->requires_grad) return;
+  node_->AccumulateGrad(Tensor::Full(node_->value.shape(), 1.0f));
+  std::vector<Node*> order;
+  TopoSort(node_, &order);
+  // `order` is post-order: leaves first, root last. Walk from the root down.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward && n->grad_allocated) n->backward(*n);
+  }
+}
+
+void Var::ZeroGrad() const {
+  TRIAD_CHECK(!empty());
+  node_->grad = Tensor();
+  node_->grad_allocated = false;
+}
+
+}  // namespace triad::nn

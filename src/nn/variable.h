@@ -1,0 +1,77 @@
+#ifndef TRIAD_NN_VARIABLE_H_
+#define TRIAD_NN_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace triad::nn {
+
+/// \brief One node in the reverse-mode autodiff graph.
+///
+/// Users interact with Var (below); Node is exposed so optimizers can hold
+/// stable references to parameter storage.
+struct Node {
+  Tensor value;
+  /// Gradient of the final scalar w.r.t. `value`; allocated lazily on the
+  /// first accumulation during Backward(), zero-shaped before that.
+  Tensor grad;
+  bool grad_allocated = false;
+  bool requires_grad = false;
+  /// Upstream nodes this value was computed from (empty for leaves).
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Pulls `grad` back into the parents' grads. Null for leaves.
+  std::function<void(Node&)> backward;
+
+  /// Adds `delta` into this node's gradient, allocating it on first use.
+  void AccumulateGrad(const Tensor& delta);
+};
+
+/// \brief Handle to an autodiff node; cheap to copy.
+///
+/// A Var wraps a Tensor `value()` plus optional gradient tracking. Ops
+/// (see ops.h) take Vars and return Vars, recording the backward function.
+/// Calling Backward() on a scalar Var runs reverse-mode accumulation over
+/// the whole upstream graph.
+class Var {
+ public:
+  /// Empty handle; most APIs require a non-empty Var.
+  Var() = default;
+
+  /// Wraps a value as a leaf. Parameters pass requires_grad = true.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  /// Builds an interior node (used by ops).
+  static Var MakeNode(Tensor value, std::vector<std::shared_ptr<Node>> parents,
+                      std::function<void(Node&)> backward);
+
+  bool empty() const { return node_ == nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  /// Gradient; valid only after Backward() reached this node.
+  const Tensor& grad() const { return node_->grad; }
+  bool has_grad() const { return node_ != nullptr && node_->grad_allocated; }
+  bool requires_grad() const { return node_ != nullptr && node_->requires_grad; }
+
+  const std::vector<int64_t>& shape() const { return node_->value.shape(); }
+  int64_t size() const { return node_->value.size(); }
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  /// Runs reverse-mode differentiation from this node, which must hold a
+  /// scalar (rank-0 or single-element) value. Gradients accumulate into all
+  /// requires_grad leaves reachable from here.
+  void Backward() const;
+
+  /// Clears the gradient and its allocation flag on this node only.
+  void ZeroGrad() const;
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace triad::nn
+
+#endif  // TRIAD_NN_VARIABLE_H_

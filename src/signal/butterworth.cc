@@ -1,0 +1,114 @@
+#include "signal/butterworth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+
+namespace triad::signal {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Applies one biquad (DF2-transposed) over x.
+void ApplyBiquad(const Biquad& s, std::vector<double>* x) {
+  double z1 = 0.0, z2 = 0.0;
+  for (double& v : *x) {
+    const double in = v;
+    const double out = s.b0 * in + z1;
+    z1 = s.b1 * in - s.a1 * out + z2;
+    z2 = s.b2 * in - s.a2 * out;
+    v = out;
+  }
+}
+
+}  // namespace
+
+Result<ButterworthLowPass> ButterworthLowPass::Design(int order,
+                                                      double cutoff) {
+  if (order < 1) {
+    return Status::InvalidArgument("Butterworth order must be >= 1");
+  }
+  if (!(cutoff > 0.0 && cutoff < 1.0)) {
+    return Status::InvalidArgument(
+        "Butterworth cutoff must be in (0, 1) of Nyquist");
+  }
+
+  // Pre-warped analog cutoff for the bilinear transform (fs = 2):
+  // Omega = 2*fs*tan(theta/2) with theta = pi*cutoff rad/sample.
+  const double fs2 = 2.0 * 2.0;  // 2 * fs with fs = 2
+  const double warped = fs2 * std::tan(kPi * cutoff / 2.0);
+
+  std::vector<Biquad> sections;
+
+  // Analog Butterworth poles on the unit circle (left half-plane), scaled by
+  // the warped cutoff; conjugate pairs collapse into one biquad each.
+  const int pairs = order / 2;
+  for (int k = 0; k < pairs; ++k) {
+    const double theta = kPi * (2.0 * k + 1.0) / (2.0 * order) + kPi / 2.0;
+    const std::complex<double> p =
+        warped * std::complex<double>(std::cos(theta), std::sin(theta));
+    // Bilinear transform z = (2fs + s) / (2fs - s).
+    const std::complex<double> zp = (fs2 + p) / (fs2 - p);
+    Biquad s;
+    s.a1 = -2.0 * zp.real();
+    s.a2 = std::norm(zp);
+    // Low-pass numerator (1 + z^-1)^2; normalize unity gain at z = 1.
+    const double num_dc = 4.0;
+    const double den_dc = 1.0 + s.a1 + s.a2;
+    const double gain = den_dc / num_dc;
+    s.b0 = gain;
+    s.b1 = 2.0 * gain;
+    s.b2 = gain;
+    sections.push_back(s);
+  }
+
+  if (order % 2 == 1) {
+    // One real pole at s = -warped.
+    const double p = -warped;
+    const double zp = (fs2 + p) / (fs2 - p);
+    Biquad s;
+    s.a1 = -zp;
+    s.a2 = 0.0;
+    const double den_dc = 1.0 + s.a1;
+    const double gain = den_dc / 2.0;
+    s.b0 = gain;
+    s.b1 = gain;
+    s.b2 = 0.0;
+    sections.push_back(s);
+  }
+
+  return ButterworthLowPass(order, cutoff, std::move(sections));
+}
+
+std::vector<double> ButterworthLowPass::Filter(
+    const std::vector<double>& x) const {
+  std::vector<double> y = x;
+  for (const auto& s : sections_) ApplyBiquad(s, &y);
+  return y;
+}
+
+std::vector<double> ButterworthLowPass::FiltFilt(
+    const std::vector<double>& x) const {
+  if (x.empty()) return {};
+  const size_t n = x.size();
+  const size_t pad = std::min(n - 1, static_cast<size_t>(3 * (order_ + 1)));
+
+  // Odd (reflected around endpoint value) padding, as scipy does.
+  std::vector<double> ext;
+  ext.reserve(n + 2 * pad);
+  for (size_t i = pad; i >= 1; --i) ext.push_back(2.0 * x[0] - x[i]);
+  ext.insert(ext.end(), x.begin(), x.end());
+  for (size_t i = 1; i <= pad; ++i) ext.push_back(2.0 * x[n - 1] - x[n - 1 - i]);
+
+  std::vector<double> y = Filter(ext);
+  std::reverse(y.begin(), y.end());
+  y = Filter(y);
+  std::reverse(y.begin(), y.end());
+
+  return std::vector<double>(y.begin() + static_cast<long>(pad),
+                             y.begin() + static_cast<long>(pad + n));
+}
+
+}  // namespace triad::signal

@@ -1,0 +1,49 @@
+#ifndef TRIAD_SIGNAL_BUTTERWORTH_H_
+#define TRIAD_SIGNAL_BUTTERWORTH_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace triad::signal {
+
+/// \brief One second-order IIR section (biquad), Direct Form II transposed.
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;  ///< numerator
+  double a1 = 0.0, a2 = 0.0;            ///< denominator (a0 normalized to 1)
+};
+
+/// \brief Digital low-pass Butterworth filter as cascaded biquads.
+///
+/// Designed from the analog prototype through the bilinear transform with
+/// frequency pre-warping; unity gain at DC. Used by the paper's "warping"
+/// augmentation (Eq. 4), which smooths a segment to its primary frequencies.
+class ButterworthLowPass {
+ public:
+  /// \param order      filter order, >= 1.
+  /// \param cutoff     normalized cutoff in (0, 1), where 1 is Nyquist.
+  static Result<ButterworthLowPass> Design(int order, double cutoff);
+
+  /// Causal single-pass filtering.
+  std::vector<double> Filter(const std::vector<double>& x) const;
+
+  /// Zero-phase forward-backward filtering with reflected-edge padding
+  /// (scipy-style filtfilt). Output has the input's length.
+  std::vector<double> FiltFilt(const std::vector<double>& x) const;
+
+  int order() const { return order_; }
+  double cutoff() const { return cutoff_; }
+  const std::vector<Biquad>& sections() const { return sections_; }
+
+ private:
+  ButterworthLowPass(int order, double cutoff, std::vector<Biquad> sections)
+      : order_(order), cutoff_(cutoff), sections_(std::move(sections)) {}
+
+  int order_;
+  double cutoff_;
+  std::vector<Biquad> sections_;
+};
+
+}  // namespace triad::signal
+
+#endif  // TRIAD_SIGNAL_BUTTERWORTH_H_

@@ -1,0 +1,41 @@
+#include "signal/spectral.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace triad::signal {
+
+SpectralFeatures ComputeSpectralFeatures(const std::vector<double>& window) {
+  const std::vector<Complex> spectrum = RealFft(window);
+  SpectralFeatures out;
+  out.amplitude.resize(spectrum.size());
+  out.phase.resize(spectrum.size());
+  out.power.resize(spectrum.size());
+  for (size_t k = 0; k < spectrum.size(); ++k) {
+    const double re = spectrum[k].real();
+    const double im = spectrum[k].imag();
+    out.power[k] = re * re + im * im;
+    out.amplitude[k] = std::sqrt(out.power[k]);
+    out.phase[k] = std::atan2(im, re);
+  }
+  return out;
+}
+
+size_t DominantFrequencyBin(const std::vector<double>& x) {
+  TRIAD_CHECK_GE(x.size(), 4u);
+  const std::vector<Complex> spectrum = RealFft(x);
+  const size_t half = x.size() / 2;
+  size_t best = 1;
+  double best_power = 0.0;
+  for (size_t k = 1; k <= half; ++k) {
+    const double p = std::norm(spectrum[k]);
+    if (p > best_power) {
+      best_power = p;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace triad::signal

@@ -1,0 +1,28 @@
+#ifndef TRIAD_SIGNAL_SPECTRAL_H_
+#define TRIAD_SIGNAL_SPECTRAL_H_
+
+#include <vector>
+
+#include "signal/fft.h"
+
+namespace triad::signal {
+
+/// \brief Handcrafted frequency-domain features (paper Table I) of a real
+/// window: per-bin spectral amplitude, phase and power.
+struct SpectralFeatures {
+  std::vector<double> amplitude;  ///< sqrt(Re^2 + Im^2)
+  std::vector<double> phase;      ///< atan2(Im, Re)
+  std::vector<double> power;      ///< Re^2 + Im^2
+};
+
+/// Computes all three Table-I feature channels for a real-valued window.
+/// Each channel has the same length as the input (full DFT bins), matching
+/// the paper's 3-channel frequency-domain encoder input.
+SpectralFeatures ComputeSpectralFeatures(const std::vector<double>& window);
+
+/// Index of the dominant non-DC frequency bin in [1, N/2].
+size_t DominantFrequencyBin(const std::vector<double>& x);
+
+}  // namespace triad::signal
+
+#endif  // TRIAD_SIGNAL_SPECTRAL_H_

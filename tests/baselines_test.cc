@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/anomaly_detector.h"
+#include "baselines/anomaly_transformer.h"
+#include "baselines/dcdetector.h"
+#include "baselines/lstm_ae.h"
+#include "baselines/mtgflow.h"
+#include "baselines/ncad.h"
+#include "baselines/spectral_residual.h"
+#include "baselines/ts2vec.h"
+#include "baselines/usad.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace triad::baselines {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Clean periodic training data plus a test with a blatant level-shift.
+struct Workload {
+  std::vector<double> train;
+  std::vector<double> test;
+  int64_t anomaly_begin;
+  int64_t anomaly_end;
+};
+
+Workload MakeWorkload(uint64_t seed, size_t train_n = 600,
+                      size_t test_n = 400) {
+  Rng rng(seed);
+  Workload w;
+  w.train.resize(train_n);
+  for (size_t t = 0; t < train_n; ++t) {
+    w.train[t] = std::sin(2.0 * kPi * static_cast<double>(t) / 32.0) +
+                 rng.Normal(0.0, 0.05);
+  }
+  w.test.resize(test_n);
+  for (size_t t = 0; t < test_n; ++t) {
+    w.test[t] = std::sin(2.0 * kPi * static_cast<double>(t) / 32.0) +
+                rng.Normal(0.0, 0.05);
+  }
+  w.anomaly_begin = 200;
+  w.anomaly_end = 240;
+  for (int64_t t = w.anomaly_begin; t < w.anomaly_end; ++t) {
+    w.test[static_cast<size_t>(t)] += 2.5;
+  }
+  return w;
+}
+
+double MeanScoreIn(const std::vector<double>& scores, int64_t lo, int64_t hi) {
+  std::vector<double> inside(scores.begin() + lo, scores.begin() + hi);
+  return Mean(inside);
+}
+
+double MeanScoreOutside(const std::vector<double>& scores, int64_t lo,
+                        int64_t hi) {
+  std::vector<double> outside;
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    if (i < lo || i >= hi) outside.push_back(scores[static_cast<size_t>(i)]);
+  }
+  return Mean(outside);
+}
+
+// ---------- WindowScoreAccumulator ----------
+
+TEST(AccumulatorTest, AveragesOverlaps) {
+  WindowScoreAccumulator acc(6);
+  acc.AddWindow(0, 4, 1.0);
+  acc.AddWindow(2, 4, 3.0);
+  const std::vector<double> out = acc.Finalize();
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 2.0);  // (1+3)/2
+  EXPECT_DOUBLE_EQ(out[5], 3.0);
+}
+
+TEST(AccumulatorTest, UncoveredPointsAreZero) {
+  WindowScoreAccumulator acc(5);
+  acc.AddPointwise(1, {4.0, 5.0});
+  const std::vector<double> out = acc.Finalize();
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+  EXPECT_DOUBLE_EQ(out[4], 0.0);
+}
+
+TEST(TopQuantileTest, FlagsExpectedFraction) {
+  std::vector<double> scores(1000);
+  for (size_t i = 0; i < scores.size(); ++i) scores[i] = static_cast<double>(i);
+  const std::vector<int> pred = TopQuantilePredictions(scores, 0.05);
+  int64_t flagged = 0;
+  for (int v : pred) flagged += v;
+  EXPECT_NEAR(static_cast<double>(flagged), 50.0, 2.0);
+  EXPECT_EQ(pred.back(), 1);
+  EXPECT_EQ(pred.front(), 0);
+}
+
+// ---------- shared detector contract (parameterized) ----------
+
+struct DetectorFactory {
+  std::string name;
+  std::function<std::unique_ptr<AnomalyDetector>()> make;
+};
+
+class DetectorContractTest : public ::testing::TestWithParam<DetectorFactory> {
+};
+
+TEST_P(DetectorContractTest, FitScoreShapesAndFiniteness) {
+  const Workload w = MakeWorkload(31);
+  auto detector = GetParam().make();
+  ASSERT_TRUE(detector->Fit(w.train).ok()) << detector->Name();
+  auto scores = detector->Score(w.test);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  ASSERT_EQ(scores->size(), w.test.size());
+  for (double s : *scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, -1e-9);
+  }
+}
+
+TEST_P(DetectorContractTest, ScoreBeforeFitFails) {
+  auto detector = GetParam().make();
+  EXPECT_FALSE(detector->Score({1.0, 2.0, 3.0}).ok());
+}
+
+TEST_P(DetectorContractTest, FitRejectsTinySeries) {
+  auto detector = GetParam().make();
+  EXPECT_FALSE(detector->Fit({1.0, 2.0, 3.0}).ok());
+}
+
+std::vector<DetectorFactory> AllDetectors() {
+  auto small_lstm = [](bool trained) {
+    LstmAeOptions o;
+    o.epochs = 4;
+    o.hidden_size = 8;
+    o.window_length = 32;
+    o.trained = trained;
+    return o;
+  };
+  return {
+      {"lstm_ae_trained",
+       [=] { return std::make_unique<LstmAeDetector>(small_lstm(true)); }},
+      {"lstm_ae_random",
+       [=] { return std::make_unique<LstmAeDetector>(small_lstm(false)); }},
+      {"usad",
+       [] {
+         UsadOptions o;
+         o.epochs = 4;
+         o.window_length = 32;
+         return std::make_unique<UsadDetector>(o);
+       }},
+      {"ts2vec",
+       [] {
+         Ts2VecOptions o;
+         o.epochs = 3;
+         o.window_length = 32;
+         o.embed_dim = 8;
+         o.depth = 2;
+         return std::make_unique<Ts2VecDetector>(o);
+       }},
+      {"anomaly_transformer",
+       [] {
+         AnomalyTransformerOptions o;
+         o.epochs = 3;
+         o.window_length = 32;
+         o.model_dim = 8;
+         return std::make_unique<AnomalyTransformerDetector>(o);
+       }},
+      {"mtgflow",
+       [] {
+         MtgFlowOptions o;
+         o.epochs = 4;
+         return std::make_unique<MtgFlowDetector>(o);
+       }},
+      {"dcdetector",
+       [] {
+         DcDetectorOptions o;
+         o.epochs = 3;
+         o.window_length = 32;
+         o.patch_size = 8;
+         o.model_dim = 8;
+         return std::make_unique<DcDetector>(o);
+       }},
+      {"spectral_residual",
+       [] {
+         SpectralResidualOptions o;
+         o.window_length = 64;
+         return std::make_unique<SpectralResidualDetector>(o);
+       }},
+      {"ncad",
+       [] {
+         NcadOptions o;
+         o.epochs = 3;
+         o.window_length = 32;
+         o.suspect_length = 8;
+         o.embed_dim = 8;
+         o.depth = 2;
+         return std::make_unique<NcadDetector>(o);
+       }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorContractTest, ::testing::ValuesIn(AllDetectors()),
+    [](const ::testing::TestParamInfo<DetectorFactory>& info) {
+      return info.param.name;
+    });
+
+// ---------- model-specific behavior ----------
+
+TEST(LstmAeTest, TrainedScoresAnomalyAboveNormal) {
+  const Workload w = MakeWorkload(33);
+  LstmAeOptions o;
+  o.epochs = 8;
+  o.hidden_size = 12;
+  o.window_length = 32;
+  o.stride = 16;
+  LstmAeDetector detector(o);
+  ASSERT_TRUE(detector.Fit(w.train).ok());
+  auto scores = detector.Score(w.test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(MeanScoreIn(*scores, w.anomaly_begin, w.anomaly_end),
+            2.0 * MeanScoreOutside(*scores, w.anomaly_begin, w.anomaly_end));
+}
+
+TEST(LstmAeTest, TrainingReducesReconstructionError) {
+  const Workload w = MakeWorkload(34);
+  LstmAeOptions o;
+  o.epochs = 8;
+  o.window_length = 32;
+  LstmAeOptions random_o = o;
+  random_o.trained = false;
+
+  LstmAeDetector trained(o);
+  LstmAeDetector random(random_o);
+  ASSERT_TRUE(trained.Fit(w.train).ok());
+  ASSERT_TRUE(random.Fit(w.train).ok());
+  // Reconstruction error on *normal* data: trained should beat random.
+  std::vector<double> window(w.train.begin(), w.train.begin() + 32);
+  auto rt = trained.Reconstruct(window);
+  auto rr = random.Reconstruct(window);
+  ASSERT_TRUE(rt.ok() && rr.ok());
+  double err_t = 0.0, err_r = 0.0;
+  for (size_t i = 0; i < window.size(); ++i) {
+    err_t += (rt->at(i) - window[i]) * (rt->at(i) - window[i]);
+    err_r += (rr->at(i) - window[i]) * (rr->at(i) - window[i]);
+  }
+  EXPECT_LT(err_t, err_r);
+}
+
+TEST(LstmAeTest, NamesReflectVariant) {
+  LstmAeOptions o;
+  EXPECT_EQ(LstmAeDetector(o).Name(), "LSTM-AE (Trained)");
+  o.trained = false;
+  EXPECT_EQ(LstmAeDetector(o).Name(), "LSTM-AE (Random)");
+}
+
+TEST(UsadTest, ScoresAnomalyAboveNormal) {
+  const Workload w = MakeWorkload(35);
+  UsadOptions o;
+  o.epochs = 8;
+  o.window_length = 32;
+  o.stride = 8;
+  UsadDetector detector(o);
+  ASSERT_TRUE(detector.Fit(w.train).ok());
+  auto scores = detector.Score(w.test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(MeanScoreIn(*scores, w.anomaly_begin, w.anomaly_end),
+            MeanScoreOutside(*scores, w.anomaly_begin, w.anomaly_end));
+}
+
+TEST(MtgFlowTest, NllHigherOnAnomaly) {
+  const Workload w = MakeWorkload(36);
+  MtgFlowOptions o;
+  o.epochs = 8;
+  MtgFlowDetector detector(o);
+  ASSERT_TRUE(detector.Fit(w.train).ok());
+  auto scores = detector.Score(w.test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(MeanScoreIn(*scores, w.anomaly_begin, w.anomaly_end),
+            MeanScoreOutside(*scores, w.anomaly_begin, w.anomaly_end));
+}
+
+TEST(NcadTest, ScoresSpikyRegionAboveNormal) {
+  // NCAD is trained against injected point outliers, so give the test a
+  // point-outlier-like anomaly.
+  Workload w = MakeWorkload(38);
+  // Replace the level shift with a cluster of spikes.
+  for (int64_t t = w.anomaly_begin; t < w.anomaly_end; ++t) {
+    w.test[static_cast<size_t>(t)] =
+        std::sin(2.0 * kPi * static_cast<double>(t) / 32.0);
+  }
+  Rng rng(40);
+  for (int64_t t = w.anomaly_begin; t < w.anomaly_end; t += 4) {
+    w.test[static_cast<size_t>(t)] += (rng.Bernoulli(0.5) ? 1.0 : -1.0) * 2.5;
+  }
+  NcadOptions o;
+  o.epochs = 24;  // the contextual discrimination sharpens with training
+  o.window_length = 32;
+  o.suspect_length = 8;
+  NcadDetector detector(o);
+  ASSERT_TRUE(detector.Fit(w.train).ok());
+  auto scores = detector.Score(w.test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(MeanScoreIn(*scores, w.anomaly_begin, w.anomaly_end),
+            MeanScoreOutside(*scores, w.anomaly_begin, w.anomaly_end));
+}
+
+TEST(NcadDeathTest, SuspectMustBeShorterThanWindow) {
+  NcadOptions o;
+  o.window_length = 16;
+  o.suspect_length = 16;
+  EXPECT_DEATH(NcadDetector{o}, "");
+}
+
+TEST(SpectralResidualTest, SaliencyPeaksAtSpike) {
+  std::vector<double> window(128);
+  for (size_t t = 0; t < window.size(); ++t) {
+    window[t] = std::sin(2.0 * kPi * static_cast<double>(t) / 16.0);
+  }
+  window[64] += 3.0;
+  const std::vector<double> saliency =
+      SpectralResidualDetector::SaliencyMap(window, 3);
+  size_t peak = 0;
+  for (size_t i = 1; i < saliency.size(); ++i) {
+    if (saliency[i] > saliency[peak]) peak = i;
+  }
+  EXPECT_NEAR(static_cast<double>(peak), 64.0, 2.0);
+}
+
+TEST(SpectralResidualTest, ScoresSpikeAboveBackground) {
+  const Workload w = MakeWorkload(37);
+  SpectralResidualDetector detector;
+  ASSERT_TRUE(detector.Fit(w.train).ok());
+  auto scores = detector.Score(w.test);
+  ASSERT_TRUE(scores.ok());
+  // The level-shift edges are the salient points; scores near the anomaly
+  // boundary should exceed the background mean.
+  EXPECT_GT(MeanScoreIn(*scores, w.anomaly_begin - 4, w.anomaly_begin + 4),
+            MeanScoreOutside(*scores, w.anomaly_begin - 32,
+                             w.anomaly_end + 32));
+}
+
+TEST(MtgFlowDeathTest, OddWindowLengthAborts) {
+  MtgFlowOptions o;
+  o.window_length = 15;
+  EXPECT_DEATH(MtgFlowDetector{o}, "");
+}
+
+TEST(DcDetectorDeathTest, PatchMustDivideWindow) {
+  DcDetectorOptions o;
+  o.window_length = 30;
+  o.patch_size = 8;
+  EXPECT_DEATH(DcDetector{o}, "");
+}
+
+}  // namespace
+}  // namespace triad::baselines

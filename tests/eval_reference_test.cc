@@ -1,0 +1,88 @@
+// Hand-computed reference values for the rigorous metrics, verifying the
+// implementations against worked examples rather than only properties.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/range_metrics.h"
+
+namespace triad::eval {
+namespace {
+
+// Affiliation on one zone, worked by hand.
+//
+// Timeline [0, 10), event = points {4, 5}, single prediction at point 7.
+//   precision: dist(7, event) = 2.
+//     survival = P(dist(U, [4,5]) >= 2), U ~ Uniform[0, 10)
+//              = (len{u < 4-2} + len{u > 5+2}) / 10 = (2 + 3) / 10 = 0.5
+//   recall: a = 4 -> dist 3 -> P(|U-4| >= 3) = (1 + 3)/10 = 0.4
+//           a = 5 -> dist 2 -> P(|U-5| >= 2) = (3 + 3)/10 = 0.6
+//     recall = (0.4 + 0.6)/2 = 0.5
+TEST(AffiliationReferenceTest, SingleZoneWorkedExample) {
+  std::vector<int> labels(10, 0);
+  labels[4] = labels[5] = 1;
+  std::vector<int> pred(10, 0);
+  pred[7] = 1;
+  const AffiliationScore s = ComputeAffiliation(pred, labels);
+  EXPECT_NEAR(s.precision, 0.5, 1e-9);
+  EXPECT_NEAR(s.recall, 0.5, 1e-9);
+}
+
+// A prediction inside the event has distance 0 -> survival 1 on both sides.
+TEST(AffiliationReferenceTest, InsideEventScoresFullProbability) {
+  std::vector<int> labels(20, 0);
+  for (int i = 8; i < 12; ++i) labels[static_cast<size_t>(i)] = 1;
+  std::vector<int> pred(20, 0);
+  pred[9] = 1;
+  const AffiliationScore s = ComputeAffiliation(pred, labels);
+  EXPECT_NEAR(s.precision, 1.0, 1e-9);
+  // Recall: a=8 dist 1 -> P(|U-8|>=1) = (7 + 11)/20 = 0.90;
+  //         a=9 dist 0 -> 1; a=10 dist 1 -> (9 + 9)/20 = 0.90;
+  //         a=11 dist 2 -> P(|U-11|>=2) = (9 + 7)/20 = 0.80.
+  EXPECT_NEAR(s.recall, (0.9 + 1.0 + 0.9 + 0.8) / 4.0, 1e-9);
+}
+
+// PA%K worked example: event of 5 points, 2 detected (40%).
+//   K < 40 -> whole event credited: TP=5, FP=0, FN=0 -> F1 = 1.
+//   K >= 40 -> raw: TP=2, FN=3 -> precision 1, recall 0.4 -> F1 = 4/7.
+TEST(PaKReferenceTest, StepAtDetectedFraction) {
+  std::vector<int> labels = {0, 1, 1, 1, 1, 1, 0};
+  std::vector<int> pred = {0, 1, 1, 0, 0, 0, 0};
+  const PaKCurve curve = ComputePaKCurve(pred, labels);
+  EXPECT_NEAR(curve.f1[10 - 1], 1.0, 1e-12);        // K = 10
+  EXPECT_NEAR(curve.f1[39 - 1], 1.0, 1e-12);        // K = 39
+  EXPECT_NEAR(curve.f1[40 - 1], 4.0 / 7.0, 1e-12);  // K = 40 (40% !> 40%)
+  EXPECT_NEAR(curve.f1[99], 4.0 / 7.0, 1e-12);      // K = 100
+  // AUC: 39 values at 1.0, 61 at 4/7.
+  EXPECT_NEAR(curve.f1_auc, (39.0 * 1.0 + 61.0 * 4.0 / 7.0) / 100.0, 1e-12);
+}
+
+// Range-based score worked example (alpha = 0.5).
+//   Real event [2, 8); prediction [6, 10).
+//   precision: predicted range overlaps 2 of its 4 points ->
+//     0.5 * 1 (existence) + 0.5 * 0.5 (coverage) = 0.75
+//   recall: real range covered 2 of 6 ->
+//     0.5 * 1 + 0.5 * (2/6) = 0.6667
+TEST(RangeReferenceTest, PartialOverlapWorkedExample) {
+  std::vector<int> labels(12, 0);
+  for (int i = 2; i < 8; ++i) labels[static_cast<size_t>(i)] = 1;
+  std::vector<int> pred(12, 0);
+  for (int i = 6; i < 10; ++i) pred[static_cast<size_t>(i)] = 1;
+  const RangeScore s = ComputeRangeScore(pred, labels, 0.5);
+  EXPECT_NEAR(s.precision, 0.75, 1e-12);
+  EXPECT_NEAR(s.recall, 0.5 + 0.5 * (2.0 / 6.0), 1e-12);
+}
+
+// Point-wise confusion worked example used as the anchor for everything.
+TEST(ConfusionReferenceTest, WorkedExample) {
+  const Confusion c =
+      ComputeConfusion({1, 1, 1, 0, 0, 0}, {1, 0, 0, 1, 1, 0});
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 2);
+  EXPECT_EQ(c.fn, 2);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_NEAR(c.F1(), 2.0 * (1.0 / 3.0) * (1.0 / 3.0) / (2.0 / 3.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace triad::eval

@@ -1,0 +1,149 @@
+// Randomized composite-graph stress tests: build random expressions from a
+// safe (smooth) op vocabulary and verify the full-graph gradient against
+// finite differences. Catches interaction bugs single-op tests cannot
+// (shared subexpressions, repeated leaves, deep chains).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/grad_check.h"
+#include "nn/ops.h"
+
+namespace triad::nn {
+namespace {
+
+// Projects to a scalar with fixed pseudo-random weights.
+Var WeightedSum(const Var& v) {
+  Tensor w(v.shape());
+  for (int64_t i = 0; i < w.size(); ++i) {
+    w[i] = 0.2f + 0.1f * static_cast<float>((i * 2654435761u) % 13);
+  }
+  return SumAll(Mul(v, Constant(std::move(w))));
+}
+
+// Applies a random smooth unary op.
+Var RandomUnary(const Var& v, Rng* rng) {
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      return Tanh(v);
+    case 1:
+      return Sigmoid(v);
+    case 2:
+      return Gelu(v);
+    case 3:
+      return MulScalar(v, 0.7f);
+    default:
+      return AddScalar(Square(Tanh(v)), 0.1f);
+  }
+}
+
+// Combines two same-shaped values with a random smooth binary op.
+Var RandomBinary(const Var& a, const Var& b, Rng* rng) {
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return Add(a, b);
+    case 1:
+      return Mul(Tanh(a), Sigmoid(b));  // bounded product
+    default:
+      return Sub(a, MulScalar(b, 0.5f));
+  }
+}
+
+class OpsStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OpsStressTest, RandomElementwiseGraphGradCheck) {
+  Rng rng(GetParam());
+  Rng data_rng(GetParam() + 777);
+  std::vector<Var> leaves = {
+      Var(Tensor::Randn({2, 5}, &data_rng), true),
+      Var(Tensor::Randn({2, 5}, &data_rng), true),
+  };
+  auto fn = [seed = GetParam()](const std::vector<Var>& ls) {
+    Rng graph_rng(seed);
+    // Pool of intermediate values; each step combines/transforms randomly.
+    std::vector<Var> pool = ls;
+    for (int step = 0; step < 6; ++step) {
+      const auto i = graph_rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1);
+      const auto j = graph_rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1);
+      Var next = graph_rng.Bernoulli(0.5)
+                     ? RandomUnary(pool[static_cast<size_t>(i)], &graph_rng)
+                     : RandomBinary(pool[static_cast<size_t>(i)],
+                                    pool[static_cast<size_t>(j)], &graph_rng);
+      pool.push_back(next);
+    }
+    return WeightedSum(pool.back());
+  };
+  EXPECT_LT(MaxGradError(fn, leaves), 4e-2);
+}
+
+TEST_P(OpsStressTest, MatmulChainGradCheck) {
+  Rng data_rng(GetParam() + 100);
+  // Small-magnitude leaves keep tanh/sigmoid unsaturated: a saturated
+  // nonlinearity's true gradient (~1e-4) sinks below float32 finite-
+  // difference noise and the comparison becomes meaningless.
+  auto small_leaf = [&](std::vector<int64_t> shape) {
+    Tensor t = Tensor::Randn(std::move(shape), &data_rng);
+    t.ScaleInPlace(0.4f);
+    return Var(std::move(t), true);
+  };
+  std::vector<Var> leaves = {small_leaf({3, 4}), small_leaf({4, 3}),
+                             small_leaf({3, 2})};
+  auto fn = [](const std::vector<Var>& ls) {
+    Var h = Tanh(MatMul(ls[0], ls[1]));  // [3,3]
+    h = MatMul(h, ls[2]);                // [3,2]
+    // Sigmoid rather than softmax here: a softmax tail's gradients fall
+    // below what float32 finite differences can resolve (softmax backward
+    // itself is verified in autograd_test).
+    h = Sigmoid(MulScalar(h, 0.5f));
+    return WeightedSum(h);
+  };
+  // Wider step + denominator floor: deep chains have entries with true
+  // gradients ~5e-4, at the edge of float32 finite-difference resolution.
+  EXPECT_LT(MaxGradError(fn, leaves, /*step=*/1e-2, /*tol=*/1e-3), 6e-2);
+}
+
+TEST_P(OpsStressTest, SharedSubexpressionGradCheck) {
+  // The same intermediate feeds two branches; gradients must accumulate.
+  Rng data_rng(GetParam() + 200);
+  std::vector<Var> leaves = {Var(Tensor::Randn({2, 4}, &data_rng), true)};
+  auto fn = [](const std::vector<Var>& ls) {
+    Var shared = Tanh(ls[0]);
+    Var branch_a = Square(shared);
+    Var branch_b = Mul(shared, Sigmoid(shared));
+    return WeightedSum(Add(branch_a, branch_b));
+  };
+  EXPECT_LT(MaxGradError(fn, leaves), 4e-2);
+}
+
+TEST_P(OpsStressTest, SliceConcatRoundTripGradCheck) {
+  Rng data_rng(GetParam() + 300);
+  std::vector<Var> leaves = {Var(Tensor::Randn({3, 6}, &data_rng), true)};
+  auto fn = [](const std::vector<Var>& ls) {
+    Var left = Slice(ls[0], 1, 0, 3);
+    Var right = Slice(ls[0], 1, 3, 3);
+    // Swap halves, transform, and recombine.
+    Var recombined = Concat({Tanh(right), Sigmoid(left)}, 1);
+    return WeightedSum(recombined);
+  };
+  EXPECT_LT(MaxGradError(fn, leaves), 4e-2);
+}
+
+TEST_P(OpsStressTest, NormalizeReduceGradCheck) {
+  Rng data_rng(GetParam() + 400);
+  std::vector<Var> leaves = {Var(Tensor::Randn({4, 5}, &data_rng), true)};
+  auto fn = [](const std::vector<Var>& ls) {
+    Var normed = L2NormalizeLastDim(ls[0]);
+    Var sims = MatMul(normed, TransposeLast2(normed));  // [4,4] cosines
+    return MeanAll(Square(sims));
+  };
+  EXPECT_LT(MaxGradError(fn, leaves), 4e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsStressTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace triad::nn

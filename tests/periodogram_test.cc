@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "signal/periodogram.h"
+
+namespace triad::signal {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<double> Sine(size_t n, double period, double noise_sd,
+                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * kPi * static_cast<double>(t) / period) +
+           rng.Normal(0.0, noise_sd);
+  }
+  return x;
+}
+
+TEST(WelchTest, PeakAtTheToneFrequency) {
+  const std::vector<double> x = Sine(2048, 32.0, 0.0, 1);
+  const int64_t segment = 256;
+  const std::vector<double> psd = WelchPeriodogram(x, segment);
+  ASSERT_EQ(psd.size(), static_cast<size_t>(segment / 2 + 1));
+  // Tone at bin segment/period = 8.
+  size_t peak = 1;
+  for (size_t k = 1; k < psd.size(); ++k) {
+    if (psd[k] > psd[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 8u);
+}
+
+TEST(WelchTest, AveragingSuppressesNoiseVariance) {
+  // The PSD of pure noise should be roughly flat after averaging.
+  Rng rng(2);
+  std::vector<double> noise(4096);
+  for (auto& v : noise) v = rng.Normal();
+  const std::vector<double> psd = WelchPeriodogram(noise, 128);
+  std::vector<double> interior(psd.begin() + 2, psd.end() - 2);
+  EXPECT_LT(StdDev(interior) / Mean(interior), 1.0);
+}
+
+TEST(SpectralEntropyTest, ToneLowNoiseHigh) {
+  const std::vector<double> tone = Sine(1024, 32.0, 0.0, 3);
+  Rng rng(4);
+  std::vector<double> noise(1024);
+  for (auto& v : noise) v = rng.Normal();
+  const double tone_entropy = SpectralEntropy(tone);
+  const double noise_entropy = SpectralEntropy(noise);
+  EXPECT_LT(tone_entropy, 0.4);
+  EXPECT_GT(noise_entropy, 0.8);
+  EXPECT_LT(tone_entropy, noise_entropy);
+}
+
+TEST(SpectralEntropyTest, BoundedInUnitInterval) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    const std::vector<double> x = Sine(512, 40.0, 0.5, seed);
+    const double h = SpectralEntropy(x);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+}
+
+TEST(EstimatePeriodWelchTest, RecoversPeriodUnderHeavyNoise) {
+  for (double period : {25.0, 40.0, 64.0}) {
+    const std::vector<double> x =
+        Sine(3000, period, /*noise_sd=*/0.8, 8 + static_cast<uint64_t>(period));
+    const int64_t est = EstimatePeriodWelch(x);
+    EXPECT_NEAR(static_cast<double>(est), period, period * 0.25)
+        << "period " << period;
+  }
+}
+
+TEST(EstimatePeriodWelchTest, RespectsBounds) {
+  const std::vector<double> x = Sine(1000, 30.0, 0.1, 11);
+  EXPECT_GE(EstimatePeriodWelch(x, 40, 100), 40);
+  EXPECT_LE(EstimatePeriodWelch(x, 2, 20), 20);
+}
+
+}  // namespace
+}  // namespace triad::signal

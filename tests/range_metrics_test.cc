@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "eval/range_metrics.h"
+
+namespace triad::eval {
+namespace {
+
+TEST(RangeMetricsTest, PerfectPredictionScoresOne) {
+  const std::vector<int> labels = {0, 1, 1, 0, 0, 1, 1, 1, 0};
+  const RangeScore s = ComputeRangeScore(labels, labels);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.F1(), 1.0);
+}
+
+TEST(RangeMetricsTest, NoPredictionsZeroPrecisionAndRecall) {
+  const std::vector<int> labels = {0, 1, 1, 0};
+  const RangeScore s = ComputeRangeScore({0, 0, 0, 0}, labels);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.F1(), 0.0);
+}
+
+TEST(RangeMetricsTest, DisjointRangesScoreZero) {
+  const std::vector<int> labels = {1, 1, 0, 0, 0, 0};
+  const std::vector<int> pred = {0, 0, 0, 0, 1, 1};
+  const RangeScore s = ComputeRangeScore(pred, labels);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+}
+
+TEST(RangeMetricsTest, PartialOverlapInterpolates) {
+  // Real event [0, 4); prediction covers half of it and nothing else.
+  const std::vector<int> labels = {1, 1, 1, 1, 0, 0};
+  const std::vector<int> pred = {1, 1, 0, 0, 0, 0};
+  const RangeScore s = ComputeRangeScore(pred, labels, 0.5);
+  // Precision: the predicted range is fully inside the event -> 1.0.
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  // Recall: existence (0.5) + 0.5 * coverage (2/4) = 0.75.
+  EXPECT_DOUBLE_EQ(s.recall, 0.75);
+}
+
+TEST(RangeMetricsTest, AlphaTradesExistenceVsOverlap) {
+  const std::vector<int> labels = {1, 1, 1, 1, 1, 1, 1, 1, 0, 0};
+  std::vector<int> pred(10, 0);
+  pred[0] = 1;  // one point of an 8-point event
+  const RangeScore existence_heavy = ComputeRangeScore(pred, labels, 1.0);
+  const RangeScore overlap_heavy = ComputeRangeScore(pred, labels, 0.0);
+  EXPECT_DOUBLE_EQ(existence_heavy.recall, 1.0);      // it was found at all
+  EXPECT_DOUBLE_EQ(overlap_heavy.recall, 1.0 / 8.0);  // tiny coverage
+}
+
+TEST(RangeMetricsTest, MultipleEventsAveraged) {
+  // Two events; only the first is predicted (exactly).
+  std::vector<int> labels(20, 0);
+  for (int i = 2; i < 6; ++i) labels[static_cast<size_t>(i)] = 1;
+  for (int i = 12; i < 16; ++i) labels[static_cast<size_t>(i)] = 1;
+  std::vector<int> pred(20, 0);
+  for (int i = 2; i < 6; ++i) pred[static_cast<size_t>(i)] = 1;
+  const RangeScore s = ComputeRangeScore(pred, labels);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);  // (1 + 0) / 2
+}
+
+TEST(RangeMetricsDeathTest, AlphaOutOfRangeAborts) {
+  EXPECT_DEATH(ComputeRangeScore({0, 1}, {0, 1}, 1.5), "");
+}
+
+}  // namespace
+}  // namespace triad::eval

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/streaming.h"
+#include "data/ucr_generator.h"
+
+namespace triad::core {
+namespace {
+
+TriadConfig TinyConfig() {
+  TriadConfig config;
+  config.depth = 2;
+  config.hidden_dim = 8;
+  config.epochs = 3;
+  config.seed = 5;
+  config.merlin_length_step = 4;
+  return config;
+}
+
+data::UcrDataset SmallDataset(uint64_t seed) {
+  data::UcrGeneratorOptions gen;
+  gen.count = 1;
+  gen.seed = seed;
+  gen.min_period = 32;
+  gen.max_period = 32;
+  gen.min_train_periods = 14;
+  gen.max_train_periods = 14;
+  gen.min_test_periods = 10;
+  gen.max_test_periods = 10;
+  return data::MakeUcrArchive(gen)[0];
+}
+
+TEST(StreamingTest, DefaultsDeriveFromDetector) {
+  const data::UcrDataset ds = SmallDataset(61);
+  TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(ds.train).ok());
+  StreamingTriad stream(&detector);
+  EXPECT_EQ(stream.buffer_length(), 4 * detector.window_length());
+  EXPECT_EQ(stream.hop(), detector.stride());
+  EXPECT_EQ(stream.total_points(), 0);
+  EXPECT_EQ(stream.passes(), 0);
+}
+
+TEST(StreamingTest, NoPassesUntilBufferFills) {
+  const data::UcrDataset ds = SmallDataset(62);
+  TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(ds.train).ok());
+  StreamingTriad stream(&detector);
+  const int64_t few = stream.buffer_length() - 1;
+  auto events = stream.Append(std::vector<double>(
+      ds.test.begin(), ds.test.begin() + few));
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(events->empty());
+  EXPECT_EQ(stream.passes(), 0);
+  EXPECT_EQ(stream.total_points(), few);
+}
+
+TEST(StreamingTest, ChunkedFeedFindsTheAnomaly) {
+  const data::UcrDataset ds = SmallDataset(63);
+  TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(ds.train).ok());
+
+  StreamingOptions options;
+  options.hop = detector.window_length();  // score once per window of input
+  StreamingTriad stream(&detector, options);
+
+  // Feed in odd-sized chunks to exercise buffer bookkeeping.
+  std::vector<AlarmEvent> all_events;
+  const int64_t chunk = 37;
+  for (size_t off = 0; off < ds.test.size(); off += chunk) {
+    const size_t hi = std::min(ds.test.size(), off + chunk);
+    auto events = stream.Append(std::vector<double>(
+        ds.test.begin() + static_cast<long>(off),
+        ds.test.begin() + static_cast<long>(hi)));
+    ASSERT_TRUE(events.ok()) << events.status().ToString();
+    for (const AlarmEvent& e : *events) all_events.push_back(e);
+  }
+  EXPECT_EQ(stream.total_points(), static_cast<int64_t>(ds.test.size()));
+  EXPECT_GT(stream.passes(), 0);
+
+  // Some alarm within one window of the true anomaly.
+  bool near_truth = false;
+  const int64_t margin = detector.window_length();
+  for (const AlarmEvent& e : all_events) {
+    near_truth = near_truth || (e.begin < ds.anomaly_end + margin &&
+                                ds.anomaly_begin - margin < e.end);
+  }
+  EXPECT_TRUE(near_truth);
+  // Event coordinates are valid and ordered.
+  for (const AlarmEvent& e : all_events) {
+    EXPECT_LE(0, e.begin);
+    EXPECT_LT(e.begin, e.end);
+    EXPECT_LE(e.end, stream.total_points());
+  }
+  // The global timeline agrees with the reported events.
+  int64_t timeline_alarms = 0;
+  for (int v : stream.alarms()) timeline_alarms += v;
+  EXPECT_GT(timeline_alarms, 0);
+}
+
+TEST(StreamingTest, AlarmTimelineMatchesTotalPoints) {
+  const data::UcrDataset ds = SmallDataset(64);
+  TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(ds.train).ok());
+  StreamingTriad stream(&detector);
+  ASSERT_TRUE(stream.Append(ds.test).ok());
+  EXPECT_EQ(stream.alarms().size(), ds.test.size());
+}
+
+}  // namespace
+}  // namespace triad::core

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace triad::nn {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+}
+
+TEST(TensorTest, ZerosHasShapeAndZeroData) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full({2, 2}, 3.5f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 3.5f);
+  EXPECT_FLOAT_EQ(Tensor::Scalar(-2.0f)[0], -2.0f);
+}
+
+TEST(TensorTest, RowMajorIndexing) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_FLOAT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+  Tensor u({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_FLOAT_EQ(u.at(1, 0, 1), 5.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r.at(2, 1), 5.0f);
+}
+
+TEST(TensorDeathTest, ShapeMismatchAborts) {
+  EXPECT_DEATH(Tensor({2, 2}, {1.0f}), "shape");
+  Tensor t = Tensor::Zeros({4});
+  EXPECT_DEATH(t.Reshaped({3}), "reshape");
+}
+
+TEST(TensorDeathTest, OutOfBoundsAccessAborts) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DEATH(t.at(2, 0), "CHECK failed");
+  EXPECT_DEATH(t.at(0), "CHECK failed");  // wrong rank accessor
+}
+
+TEST(TensorTest, AddInPlaceAndScale) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.AddInPlace(b);
+  a.ScaleInPlace(2.0f);
+  EXPECT_FLOAT_EQ(a[0], 22.0f);
+  EXPECT_FLOAT_EQ(a[2], 66.0f);
+}
+
+TEST(TensorTest, RandnDeterministicWithSeed) {
+  Rng r1(5), r2(5);
+  Tensor a = Tensor::Randn({8}, &r1);
+  Tensor b = Tensor::Randn({8}, &r2);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(TensorTest, UniformWithinBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::Uniform({100}, -0.5f, 0.5f, &rng);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LT(t[i], 0.5f);
+  }
+}
+
+TEST(TensorTest, FromVectorAndToVector) {
+  Tensor t = Tensor::FromVector({1.5, -2.5});
+  EXPECT_EQ(t.ndim(), 1);
+  std::vector<double> back = t.ToVector();
+  EXPECT_DOUBLE_EQ(back[0], 1.5);
+  EXPECT_DOUBLE_EQ(back[1], -2.5);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor::Zeros({2, 3}).ShapeString(), "[2, 3]");
+  EXPECT_EQ(Tensor().ShapeString(), "[]");
+}
+
+}  // namespace
+}  // namespace triad::nn

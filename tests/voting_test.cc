@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/voting.h"
+
+namespace triad::core {
+namespace {
+
+discord::Discord MakeDiscord(int64_t position, int64_t length,
+                             double distance) {
+  discord::Discord d;
+  d.position = position;
+  d.length = length;
+  d.distance = distance;
+  return d;
+}
+
+TEST(VotingTest, PaperEq8UniformVotes) {
+  // Window [10, 20), discords [12, 16) and [14, 18): votes stack.
+  const VotingResult r = RunVoting(
+      30, {{10, 10}},
+      {MakeDiscord(12, 4, 5.0), MakeDiscord(14, 4, 5.0)}, VotingOptions{});
+  EXPECT_DOUBLE_EQ(r.votes[5], 0.0);
+  EXPECT_DOUBLE_EQ(r.votes[10], 1.0);  // window only
+  EXPECT_DOUBLE_EQ(r.votes[12], 2.0);  // window + first discord
+  EXPECT_DOUBLE_EQ(r.votes[14], 3.0);  // window + both discords
+  EXPECT_DOUBLE_EQ(r.votes[17], 2.0);
+}
+
+TEST(VotingTest, ThresholdIsMeanOfNonzero) {
+  const VotingResult r =
+      RunVoting(10, {{0, 4}}, {MakeDiscord(0, 2, 3.0)}, VotingOptions{});
+  // Votes: 2,2,1,1 -> mean nonzero = 1.5; predictions where votes > 1.5.
+  EXPECT_DOUBLE_EQ(r.threshold, 1.5);
+  EXPECT_EQ(r.predictions, (std::vector<int>{1, 1, 0, 0, 0, 0, 0, 0, 0, 0}));
+  EXPECT_FALSE(r.exception_applied);
+}
+
+TEST(VotingTest, QuantileThresholdIsStricter) {
+  VotingOptions strict;
+  strict.threshold_rule = ThresholdRule::kQuantile;
+  strict.threshold_quantile = 0.9;
+  std::vector<discord::Discord> discords;
+  for (int i = 0; i < 5; ++i) discords.push_back(MakeDiscord(10, 4 + i, 3.0));
+  const VotingResult loose =
+      RunVoting(40, {{8, 12}}, discords, VotingOptions{});
+  const VotingResult tight = RunVoting(40, {{8, 12}}, discords, strict);
+  EXPECT_GE(tight.threshold, loose.threshold);
+  // Flag counts only compare when the exception rule did not rewrite the
+  // strict predictions (a too-strict threshold can flag nothing inside the
+  // window, firing the exception).
+  if (!tight.exception_applied && !loose.exception_applied) {
+    int64_t loose_count = 0, tight_count = 0;
+    for (int v : loose.predictions) loose_count += v;
+    for (int v : tight.predictions) tight_count += v;
+    EXPECT_LE(tight_count, loose_count);
+  }
+}
+
+TEST(VotingTest, DistanceWeightedFavorsDecisiveDiscords) {
+  VotingOptions options;
+  options.weighting = VoteWeighting::kDistanceWeighted;
+  // Same geometry, different nearest-neighbour distances.
+  const VotingResult r = RunVoting(
+      40, {{0, 0}},
+      {MakeDiscord(5, 4, 4.0 /* = 2*sqrt(4): weight 1 */),
+       MakeDiscord(20, 4, 0.4 /* weight 0.1 */)},
+      options);
+  EXPECT_NEAR(r.votes[5], 1.0, 1e-9);
+  EXPECT_NEAR(r.votes[20], 0.1, 1e-9);
+}
+
+TEST(VotingTest, NormalizedVotesCapAtOne) {
+  VotingOptions options;
+  options.weighting = VoteWeighting::kNormalized;
+  std::vector<discord::Discord> discords;
+  for (int i = 0; i < 7; ++i) discords.push_back(MakeDiscord(10, 5, 2.0));
+  const VotingResult r = RunVoting(30, {{10, 5}}, discords, options);
+  double max_vote = 0.0;
+  for (double v : r.votes) max_vote = std::max(max_vote, v);
+  EXPECT_DOUBLE_EQ(max_vote, 1.0);
+}
+
+TEST(VotingTest, ExceptionFiresWhenDiscordsMissWindow) {
+  // All discord mass outside the window: above-threshold points lie outside,
+  // so the rule replaces predictions with the window.
+  std::vector<discord::Discord> discords;
+  for (int i = 0; i < 4; ++i) discords.push_back(MakeDiscord(30, 6, 2.0));
+  const VotingResult r = RunVoting(50, {{5, 8}}, discords, VotingOptions{});
+  EXPECT_TRUE(r.exception_applied);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(r.predictions[static_cast<size_t>(i)], (i >= 5 && i < 13) ? 1 : 0)
+        << i;
+  }
+}
+
+TEST(VotingTest, NoWindowsNoException) {
+  const VotingResult r =
+      RunVoting(20, {}, {MakeDiscord(5, 3, 2.0)}, VotingOptions{});
+  EXPECT_FALSE(r.exception_applied);
+}
+
+TEST(VotingTest, EmptyEvidenceGivesAllZero) {
+  const VotingResult r = RunVoting(15, {}, {}, VotingOptions{});
+  EXPECT_DOUBLE_EQ(r.threshold, 0.0);
+  for (int v : r.predictions) EXPECT_EQ(v, 0);
+}
+
+TEST(VotingTest, WindowClampedToSeriesBounds) {
+  // Window extends past the end; must not crash and must clamp.
+  const VotingResult r = RunVoting(10, {{7, 10}}, {}, VotingOptions{});
+  EXPECT_DOUBLE_EQ(r.votes[9], 1.0);
+  EXPECT_DOUBLE_EQ(r.votes[6], 0.0);
+}
+
+TEST(VotingTest, MultipleWindowsAllVote) {
+  const VotingResult r = RunVoting(40, {{0, 5}, {20, 5}}, {}, VotingOptions{});
+  EXPECT_DOUBLE_EQ(r.votes[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.votes[22], 1.0);
+  EXPECT_DOUBLE_EQ(r.votes[10], 0.0);
+}
+
+}  // namespace
+}  // namespace triad::core
