@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discord_algos.dir/bench_discord_algos.cc.o"
+  "CMakeFiles/bench_discord_algos.dir/bench_discord_algos.cc.o.d"
+  "bench_discord_algos"
+  "bench_discord_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discord_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_discord_algos.
+# This may be replaced when dependencies are built.

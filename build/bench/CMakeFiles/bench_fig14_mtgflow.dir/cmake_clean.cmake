@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mtgflow.dir/bench_fig14_mtgflow.cc.o"
+  "CMakeFiles/bench_fig14_mtgflow.dir/bench_fig14_mtgflow.cc.o.d"
+  "bench_fig14_mtgflow"
+  "bench_fig14_mtgflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mtgflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

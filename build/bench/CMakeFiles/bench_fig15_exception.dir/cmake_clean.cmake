@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_exception.dir/bench_fig15_exception.cc.o"
+  "CMakeFiles/bench_fig15_exception.dir/bench_fig15_exception.cc.o.d"
+  "bench_fig15_exception"
+  "bench_fig15_exception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_exception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_lstm_ae_recon.dir/bench_fig2_lstm_ae_recon.cc.o"
+  "CMakeFiles/bench_fig2_lstm_ae_recon.dir/bench_fig2_lstm_ae_recon.cc.o.d"
+  "bench_fig2_lstm_ae_recon"
+  "bench_fig2_lstm_ae_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lstm_ae_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_length_dist.dir/bench_fig6_length_dist.cc.o"
+  "CMakeFiles/bench_fig6_length_dist.dir/bench_fig6_length_dist.cc.o.d"
+  "bench_fig6_length_dist"
+  "bench_fig6_length_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_length_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

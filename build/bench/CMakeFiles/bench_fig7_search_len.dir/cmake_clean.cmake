@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_search_len.dir/bench_fig7_search_len.cc.o"
+  "CMakeFiles/bench_fig7_search_len.dir/bench_fig7_search_len.cc.o.d"
+  "bench_fig7_search_len"
+  "bench_fig7_search_len.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_search_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pa_inflation.dir/bench_table2_pa_inflation.cc.o"
+  "CMakeFiles/bench_table2_pa_inflation.dir/bench_table2_pa_inflation.cc.o.d"
+  "bench_table2_pa_inflation"
+  "bench_table2_pa_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pa_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_merlinpp.dir/bench_table4_merlinpp.cc.o"
+  "CMakeFiles/bench_table4_merlinpp.dir/bench_table4_merlinpp.cc.o.d"
+  "bench_table4_merlinpp"
+  "bench_table4_merlinpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_merlinpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/triad_bench_util.dir/bench_util.cc.o.d"
+  "libtriad_bench_util.a"
+  "libtriad_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtriad_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discord_search.dir/discord_search.cpp.o"
+  "CMakeFiles/discord_search.dir/discord_search.cpp.o.d"
+  "discord_search"
+  "discord_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discord_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ecg_monitoring.cpp" "examples/CMakeFiles/ecg_monitoring.dir/ecg_monitoring.cpp.o" "gcc" "examples/CMakeFiles/ecg_monitoring.dir/ecg_monitoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/triad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/triad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/triad_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/triad_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/discord/CMakeFiles/triad_discord.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/triad_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/triad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/triad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

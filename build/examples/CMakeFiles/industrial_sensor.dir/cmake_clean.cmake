@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_sensor.dir/industrial_sensor.cpp.o"
+  "CMakeFiles/industrial_sensor.dir/industrial_sensor.cpp.o.d"
+  "industrial_sensor"
+  "industrial_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kpi_monitoring.dir/kpi_monitoring.cpp.o"
+  "CMakeFiles/kpi_monitoring.dir/kpi_monitoring.cpp.o.d"
+  "kpi_monitoring"
+  "kpi_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kpi_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

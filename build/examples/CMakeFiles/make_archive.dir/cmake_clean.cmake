@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_archive.dir/make_archive.cpp.o"
+  "CMakeFiles/make_archive.dir/make_archive.cpp.o.d"
+  "make_archive"
+  "make_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

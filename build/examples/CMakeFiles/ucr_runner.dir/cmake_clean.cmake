@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_runner.dir/ucr_runner.cpp.o"
+  "CMakeFiles/ucr_runner.dir/ucr_runner.cpp.o.d"
+  "ucr_runner"
+  "ucr_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

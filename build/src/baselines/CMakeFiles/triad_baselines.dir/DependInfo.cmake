@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/anomaly_detector.cc" "src/baselines/CMakeFiles/triad_baselines.dir/anomaly_detector.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/anomaly_detector.cc.o.d"
+  "/root/repo/src/baselines/anomaly_transformer.cc" "src/baselines/CMakeFiles/triad_baselines.dir/anomaly_transformer.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/anomaly_transformer.cc.o.d"
+  "/root/repo/src/baselines/attention.cc" "src/baselines/CMakeFiles/triad_baselines.dir/attention.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/attention.cc.o.d"
+  "/root/repo/src/baselines/dcdetector.cc" "src/baselines/CMakeFiles/triad_baselines.dir/dcdetector.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/dcdetector.cc.o.d"
+  "/root/repo/src/baselines/lstm_ae.cc" "src/baselines/CMakeFiles/triad_baselines.dir/lstm_ae.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/lstm_ae.cc.o.d"
+  "/root/repo/src/baselines/mtgflow.cc" "src/baselines/CMakeFiles/triad_baselines.dir/mtgflow.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/mtgflow.cc.o.d"
+  "/root/repo/src/baselines/ncad.cc" "src/baselines/CMakeFiles/triad_baselines.dir/ncad.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/ncad.cc.o.d"
+  "/root/repo/src/baselines/spectral_residual.cc" "src/baselines/CMakeFiles/triad_baselines.dir/spectral_residual.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/spectral_residual.cc.o.d"
+  "/root/repo/src/baselines/ts2vec.cc" "src/baselines/CMakeFiles/triad_baselines.dir/ts2vec.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/ts2vec.cc.o.d"
+  "/root/repo/src/baselines/usad.cc" "src/baselines/CMakeFiles/triad_baselines.dir/usad.cc.o" "gcc" "src/baselines/CMakeFiles/triad_baselines.dir/usad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/triad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/triad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/triad_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_baselines.dir/anomaly_detector.cc.o"
+  "CMakeFiles/triad_baselines.dir/anomaly_detector.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/anomaly_transformer.cc.o"
+  "CMakeFiles/triad_baselines.dir/anomaly_transformer.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/attention.cc.o"
+  "CMakeFiles/triad_baselines.dir/attention.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/dcdetector.cc.o"
+  "CMakeFiles/triad_baselines.dir/dcdetector.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/lstm_ae.cc.o"
+  "CMakeFiles/triad_baselines.dir/lstm_ae.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/mtgflow.cc.o"
+  "CMakeFiles/triad_baselines.dir/mtgflow.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/ncad.cc.o"
+  "CMakeFiles/triad_baselines.dir/ncad.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/spectral_residual.cc.o"
+  "CMakeFiles/triad_baselines.dir/spectral_residual.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/ts2vec.cc.o"
+  "CMakeFiles/triad_baselines.dir/ts2vec.cc.o.d"
+  "CMakeFiles/triad_baselines.dir/usad.cc.o"
+  "CMakeFiles/triad_baselines.dir/usad.cc.o.d"
+  "libtriad_baselines.a"
+  "libtriad_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_common.dir/check.cc.o"
+  "CMakeFiles/triad_common.dir/check.cc.o.d"
+  "CMakeFiles/triad_common.dir/env.cc.o"
+  "CMakeFiles/triad_common.dir/env.cc.o.d"
+  "CMakeFiles/triad_common.dir/rng.cc.o"
+  "CMakeFiles/triad_common.dir/rng.cc.o.d"
+  "CMakeFiles/triad_common.dir/stats.cc.o"
+  "CMakeFiles/triad_common.dir/stats.cc.o.d"
+  "CMakeFiles/triad_common.dir/status.cc.o"
+  "CMakeFiles/triad_common.dir/status.cc.o.d"
+  "CMakeFiles/triad_common.dir/table.cc.o"
+  "CMakeFiles/triad_common.dir/table.cc.o.d"
+  "libtriad_common.a"
+  "libtriad_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augmentation.cc" "src/core/CMakeFiles/triad_core.dir/augmentation.cc.o" "gcc" "src/core/CMakeFiles/triad_core.dir/augmentation.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/triad_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/triad_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/triad_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/triad_core.dir/features.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/triad_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/triad_core.dir/model.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/triad_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/triad_core.dir/streaming.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/triad_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/triad_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/voting.cc" "src/core/CMakeFiles/triad_core.dir/voting.cc.o" "gcc" "src/core/CMakeFiles/triad_core.dir/voting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/triad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/triad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/triad_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/discord/CMakeFiles/triad_discord.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_core.dir/augmentation.cc.o"
+  "CMakeFiles/triad_core.dir/augmentation.cc.o.d"
+  "CMakeFiles/triad_core.dir/detector.cc.o"
+  "CMakeFiles/triad_core.dir/detector.cc.o.d"
+  "CMakeFiles/triad_core.dir/features.cc.o"
+  "CMakeFiles/triad_core.dir/features.cc.o.d"
+  "CMakeFiles/triad_core.dir/model.cc.o"
+  "CMakeFiles/triad_core.dir/model.cc.o.d"
+  "CMakeFiles/triad_core.dir/streaming.cc.o"
+  "CMakeFiles/triad_core.dir/streaming.cc.o.d"
+  "CMakeFiles/triad_core.dir/trainer.cc.o"
+  "CMakeFiles/triad_core.dir/trainer.cc.o.d"
+  "CMakeFiles/triad_core.dir/voting.cc.o"
+  "CMakeFiles/triad_core.dir/voting.cc.o.d"
+  "libtriad_core.a"
+  "libtriad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/triad_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/triad_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/flawed_benchmarks.cc" "src/data/CMakeFiles/triad_data.dir/flawed_benchmarks.cc.o" "gcc" "src/data/CMakeFiles/triad_data.dir/flawed_benchmarks.cc.o.d"
+  "/root/repo/src/data/ucr_generator.cc" "src/data/CMakeFiles/triad_data.dir/ucr_generator.cc.o" "gcc" "src/data/CMakeFiles/triad_data.dir/ucr_generator.cc.o.d"
+  "/root/repo/src/data/ucr_io.cc" "src/data/CMakeFiles/triad_data.dir/ucr_io.cc.o" "gcc" "src/data/CMakeFiles/triad_data.dir/ucr_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/triad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/triad_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

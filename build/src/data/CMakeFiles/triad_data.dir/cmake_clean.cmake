@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_data.dir/dataset.cc.o"
+  "CMakeFiles/triad_data.dir/dataset.cc.o.d"
+  "CMakeFiles/triad_data.dir/flawed_benchmarks.cc.o"
+  "CMakeFiles/triad_data.dir/flawed_benchmarks.cc.o.d"
+  "CMakeFiles/triad_data.dir/ucr_generator.cc.o"
+  "CMakeFiles/triad_data.dir/ucr_generator.cc.o.d"
+  "CMakeFiles/triad_data.dir/ucr_io.cc.o"
+  "CMakeFiles/triad_data.dir/ucr_io.cc.o.d"
+  "libtriad_data.a"
+  "libtriad_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discord/discord.cc" "src/discord/CMakeFiles/triad_discord.dir/discord.cc.o" "gcc" "src/discord/CMakeFiles/triad_discord.dir/discord.cc.o.d"
+  "/root/repo/src/discord/mass.cc" "src/discord/CMakeFiles/triad_discord.dir/mass.cc.o" "gcc" "src/discord/CMakeFiles/triad_discord.dir/mass.cc.o.d"
+  "/root/repo/src/discord/stomp.cc" "src/discord/CMakeFiles/triad_discord.dir/stomp.cc.o" "gcc" "src/discord/CMakeFiles/triad_discord.dir/stomp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/triad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/triad_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_discord.dir/discord.cc.o"
+  "CMakeFiles/triad_discord.dir/discord.cc.o.d"
+  "CMakeFiles/triad_discord.dir/mass.cc.o"
+  "CMakeFiles/triad_discord.dir/mass.cc.o.d"
+  "CMakeFiles/triad_discord.dir/stomp.cc.o"
+  "CMakeFiles/triad_discord.dir/stomp.cc.o.d"
+  "libtriad_discord.a"
+  "libtriad_discord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_discord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtriad_discord.a"
+)

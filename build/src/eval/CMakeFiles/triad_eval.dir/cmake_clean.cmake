@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_eval.dir/metrics.cc.o"
+  "CMakeFiles/triad_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/triad_eval.dir/range_metrics.cc.o"
+  "CMakeFiles/triad_eval.dir/range_metrics.cc.o.d"
+  "libtriad_eval.a"
+  "libtriad_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/grad_check.cc" "src/nn/CMakeFiles/triad_nn.dir/grad_check.cc.o" "gcc" "src/nn/CMakeFiles/triad_nn.dir/grad_check.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/triad_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/triad_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/triad_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/triad_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/triad_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/triad_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/triad_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/triad_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/triad_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/triad_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/variable.cc" "src/nn/CMakeFiles/triad_nn.dir/variable.cc.o" "gcc" "src/nn/CMakeFiles/triad_nn.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/triad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_nn.dir/grad_check.cc.o"
+  "CMakeFiles/triad_nn.dir/grad_check.cc.o.d"
+  "CMakeFiles/triad_nn.dir/layers.cc.o"
+  "CMakeFiles/triad_nn.dir/layers.cc.o.d"
+  "CMakeFiles/triad_nn.dir/ops.cc.o"
+  "CMakeFiles/triad_nn.dir/ops.cc.o.d"
+  "CMakeFiles/triad_nn.dir/optimizer.cc.o"
+  "CMakeFiles/triad_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/triad_nn.dir/serialize.cc.o"
+  "CMakeFiles/triad_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/triad_nn.dir/tensor.cc.o"
+  "CMakeFiles/triad_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/triad_nn.dir/variable.cc.o"
+  "CMakeFiles/triad_nn.dir/variable.cc.o.d"
+  "libtriad_nn.a"
+  "libtriad_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/butterworth.cc" "src/signal/CMakeFiles/triad_signal.dir/butterworth.cc.o" "gcc" "src/signal/CMakeFiles/triad_signal.dir/butterworth.cc.o.d"
+  "/root/repo/src/signal/decompose.cc" "src/signal/CMakeFiles/triad_signal.dir/decompose.cc.o" "gcc" "src/signal/CMakeFiles/triad_signal.dir/decompose.cc.o.d"
+  "/root/repo/src/signal/fft.cc" "src/signal/CMakeFiles/triad_signal.dir/fft.cc.o" "gcc" "src/signal/CMakeFiles/triad_signal.dir/fft.cc.o.d"
+  "/root/repo/src/signal/periodogram.cc" "src/signal/CMakeFiles/triad_signal.dir/periodogram.cc.o" "gcc" "src/signal/CMakeFiles/triad_signal.dir/periodogram.cc.o.d"
+  "/root/repo/src/signal/spectral.cc" "src/signal/CMakeFiles/triad_signal.dir/spectral.cc.o" "gcc" "src/signal/CMakeFiles/triad_signal.dir/spectral.cc.o.d"
+  "/root/repo/src/signal/windows.cc" "src/signal/CMakeFiles/triad_signal.dir/windows.cc.o" "gcc" "src/signal/CMakeFiles/triad_signal.dir/windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/triad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triad_signal.dir/butterworth.cc.o"
+  "CMakeFiles/triad_signal.dir/butterworth.cc.o.d"
+  "CMakeFiles/triad_signal.dir/decompose.cc.o"
+  "CMakeFiles/triad_signal.dir/decompose.cc.o.d"
+  "CMakeFiles/triad_signal.dir/fft.cc.o"
+  "CMakeFiles/triad_signal.dir/fft.cc.o.d"
+  "CMakeFiles/triad_signal.dir/periodogram.cc.o"
+  "CMakeFiles/triad_signal.dir/periodogram.cc.o.d"
+  "CMakeFiles/triad_signal.dir/spectral.cc.o"
+  "CMakeFiles/triad_signal.dir/spectral.cc.o.d"
+  "CMakeFiles/triad_signal.dir/windows.cc.o"
+  "CMakeFiles/triad_signal.dir/windows.cc.o.d"
+  "libtriad_signal.a"
+  "libtriad_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triad_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_property_test.dir/data_property_test.cc.o"
+  "CMakeFiles/data_property_test.dir/data_property_test.cc.o.d"
+  "data_property_test"
+  "data_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

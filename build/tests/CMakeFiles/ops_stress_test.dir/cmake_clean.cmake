@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_stress_test.dir/ops_stress_test.cc.o"
+  "CMakeFiles/ops_stress_test.dir/ops_stress_test.cc.o.d"
+  "ops_stress_test"
+  "ops_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodogram_test.dir/periodogram_test.cc.o"
+  "CMakeFiles/periodogram_test.dir/periodogram_test.cc.o.d"
+  "periodogram_test"
+  "periodogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
