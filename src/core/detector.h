@@ -61,6 +61,15 @@ struct DetectionResult {
 ///   TriadDetector detector(config);
 ///   TRIAD_RETURN_NOT_OK(detector.Fit(train));   // normal data only
 ///   auto result = detector.Detect(test);
+///
+/// Threading: the inference hot paths — per-domain window encoding,
+/// pairwise-similarity scans, candidate deviation scoring, and the MERLIN
+/// length sweep — fan out on DefaultPool() (sized by TRIAD_NUM_THREADS).
+/// Every decomposition uses fixed chunking and ordered reductions, so
+/// detections are bit-identical at any thread count; see ARCHITECTURE.md §3.
+/// A detector is safe to share across threads for concurrent Detect() calls
+/// only after Fit()/Load() has completed (Detect is const and the pool
+/// serializes its own batches).
 class TriadDetector {
  public:
   explicit TriadDetector(TriadConfig config = TriadConfig());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "signal/decompose.h"
 #include "signal/spectral.h"
 #include "signal/windows.h"
@@ -69,13 +70,21 @@ nn::Tensor BuildDomainBatch(const std::vector<std::vector<double>>& windows,
   const int64_t B = static_cast<int64_t>(windows.size());
   const int64_t C = DomainChannels(domain);
   const int64_t L = static_cast<int64_t>(windows[0].size());
-  std::vector<float> data;
-  data.reserve(static_cast<size_t>(B * C * L));
-  for (const auto& w : windows) {
-    TRIAD_CHECK_EQ(static_cast<int64_t>(w.size()), L);
-    const std::vector<float> f = ExtractDomainFeatures(w, domain, period);
-    data.insert(data.end(), f.begin(), f.end());
-  }
+  const int64_t per_window = C * L;
+  std::vector<float> data(static_cast<size_t>(B * per_window));
+  // Windows are independent and each writes only its own [i*C*L, (i+1)*C*L)
+  // slice, so extraction fans out across the pool with identical results
+  // at any thread count.
+  ParallelFor(0, B, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const auto& w = windows[static_cast<size_t>(i)];
+      TRIAD_CHECK_EQ(static_cast<int64_t>(w.size()), L);
+      const std::vector<float> f = ExtractDomainFeatures(w, domain, period);
+      TRIAD_CHECK_EQ(static_cast<int64_t>(f.size()), per_window);
+      std::copy(f.begin(), f.end(),
+                data.begin() + static_cast<size_t>(i * per_window));
+    }
+  });
   return nn::Tensor({B, C, L}, std::move(data));
 }
 

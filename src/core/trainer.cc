@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "core/augmentation.h"
 #include "core/features.h"
 #include "nn/optimizer.h"
@@ -14,20 +15,35 @@ using nn::Var;
 
 // Builds normalized representations of originals and augmentations for one
 // batch, returning the scalar loss Var.
+//
+// The per-domain feature extraction + encoder forward passes run as
+// independent pool tasks: forward passes only read the shared parameter
+// tensors and write their own graph nodes, each domain's computation is
+// internally serial, and the loss combines the domain slots in a fixed
+// order — so the loss (and the subsequent serial Backward()/Step(), where
+// all gradient accumulation happens) is bit-identical at every thread
+// count. Augmentation stays serial because it advances the shared RNG.
 Var BatchLoss(const TriadModel& model,
               const std::vector<std::vector<double>>& originals,
               int64_t period, Rng* rng) {
   std::vector<std::vector<double>> augmented = originals;
   for (auto& w : augmented) AugmentWindow(&w, rng);
 
-  std::vector<Var> orig_norms;
-  std::vector<Var> aug_norms;
-  for (Domain d : model.EnabledDomains()) {
-    Var xo = nn::Constant(BuildDomainBatch(originals, d, period));
-    Var xa = nn::Constant(BuildDomainBatch(augmented, d, period));
-    orig_norms.push_back(model.EncodeNormalized(d, xo));
-    aug_norms.push_back(model.EncodeNormalized(d, xa));
-  }
+  const std::vector<Domain> domains = model.EnabledDomains();
+  std::vector<Var> orig_norms(domains.size());
+  std::vector<Var> aug_norms(domains.size());
+  ParallelFor(0, static_cast<int64_t>(domains.size()), /*grain=*/1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t di = begin; di < end; ++di) {
+                  const Domain d = domains[static_cast<size_t>(di)];
+                  Var xo = nn::Constant(BuildDomainBatch(originals, d, period));
+                  Var xa = nn::Constant(BuildDomainBatch(augmented, d, period));
+                  orig_norms[static_cast<size_t>(di)] =
+                      model.EncodeNormalized(d, xo);
+                  aug_norms[static_cast<size_t>(di)] =
+                      model.EncodeNormalized(d, xa);
+                }
+              });
   return model.TotalLoss(orig_norms, aug_norms);
 }
 

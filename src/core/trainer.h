@@ -21,6 +21,13 @@ struct TrainStats {
 /// \brief Self-supervised contrastive training loop (paper Section IV-A3):
 /// batches of normal windows paired with their segment-augmented twins,
 /// Adam, and a 10% validation tail used to monitor generalization.
+///
+/// Threading: the three domain encoders' forward passes (feature batch
+/// construction + encoding) run as independent tasks on DefaultPool();
+/// augmentation (shared RNG), the backward pass, and optimizer steps stay
+/// serial, so loss trajectories and trained weights are bit-identical at
+/// any TRIAD_NUM_THREADS (see ARCHITECTURE.md §3; enforced by
+/// tests/parallel_test.cc).
 class TriadTrainer {
  public:
   explicit TriadTrainer(const TriadConfig& config) : config_(config) {}

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "discord/mass.h"
 
@@ -13,28 +14,55 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Shared per-length context: the series, rolling stats, and counters.
+// Shared per-length context: the series, rolling stats, and the length.
 struct LengthContext {
   const std::vector<double>& series;
   int64_t m;
-  int64_t count;      // number of subsequences
+  int64_t count;  // number of subsequences
   RollingStats stats;
-  DiscordStats* counters;
 
   const double* Sub(int64_t i) const { return series.data() + i; }
   double MeanAt(int64_t i) const { return stats.mean[static_cast<size_t>(i)]; }
   double StdAt(int64_t i) const { return stats.stddev[static_cast<size_t>(i)]; }
 
-  double Distance(int64_t i, int64_t j, double best_so_far) const {
-    if (counters != nullptr) counters->pointwise_distance_ops += m;
+  // `ops` accumulates pointwise work into a caller-owned counter so that
+  // concurrent scans never share a counter (each parallel chunk sums into
+  // its own local and the partials are combined in chunk order).
+  double Distance(int64_t i, int64_t j, double best_so_far,
+                  int64_t* ops) const {
+    *ops += m;
     return ZNormDistanceEarlyAbandon(Sub(i), MeanAt(i), StdAt(i), Sub(j),
                                      MeanAt(j), StdAt(j), m, best_so_far);
   }
 };
 
+// Per-candidate refinement outcome plus the work it cost; the unit of
+// reduction for the parallel phase-2 scans.
+struct Phase2Partial {
+  Discord best;
+  int64_t ops = 0;
+};
+
+Phase2Partial CombinePhase2(Phase2Partial acc, Phase2Partial next) {
+  acc.ops += next.ops;
+  // Strictly-greater keeps the earliest candidate on ties, matching a
+  // serial in-order scan.
+  if (next.best.distance > acc.best.distance) acc.best = next.best;
+  return acc;
+}
+
+Phase2Partial EmptyPhase2(int64_t m) {
+  Phase2Partial p;
+  p.best.length = m;
+  p.best.distance = -kInf;
+  return p;
+}
+
 // DRAG phase 1: prune to a candidate set whose members *may* have
-// NN distance >= r.
-std::vector<int64_t> DragPhase1(const LengthContext& ctx, double r) {
+// NN distance >= r. Inherently sequential (the candidate list evolves as
+// the scan advances), but cheap relative to phase 2.
+std::vector<int64_t> DragPhase1(const LengthContext& ctx, double r,
+                                int64_t* ops) {
   std::vector<int64_t> candidates;
   for (int64_t i = 0; i < ctx.count; ++i) {
     bool is_candidate = true;
@@ -44,7 +72,7 @@ std::vector<int64_t> DragPhase1(const LengthContext& ctx, double r) {
         ++ci;
         continue;
       }
-      const double d = ctx.Distance(i, c, r);
+      const double d = ctx.Distance(i, c, r, ops);
       if (d < r) {
         // Both i and c have a neighbour within r: neither can be a discord.
         candidates[ci] = candidates.back();
@@ -59,102 +87,149 @@ std::vector<int64_t> DragPhase1(const LengthContext& ctx, double r) {
   return candidates;
 }
 
-// DRAG phase 2, linear scan variant: exact NN distance per candidate with
-// early abandoning; candidates whose NN drops below r are discarded.
-std::optional<Discord> DragPhase2Linear(const LengthContext& ctx,
-                                        const std::vector<int64_t>& candidates,
-                                        double r) {
-  Discord best;
-  best.distance = -kInf;
-  for (const int64_t c : candidates) {
-    double nn = kInf;
-    bool failed = false;
-    for (int64_t j = 0; j < ctx.count; ++j) {
-      if (std::llabs(j - c) < ctx.m) continue;
-      const double d = ctx.Distance(c, j, std::min(nn, kInf));
-      nn = std::min(nn, d);
-      if (nn < r) {
-        failed = true;
-        break;
-      }
-    }
-    if (!failed && nn >= r && nn > best.distance && std::isfinite(nn)) {
-      best.position = c;
-      best.length = ctx.m;
-      best.distance = nn;
+// Exact NN refinement of a single candidate, linear-scan variant with early
+// abandoning. Self-contained, so candidates can be refined concurrently.
+Phase2Partial RefineCandidateLinear(const LengthContext& ctx, int64_t c,
+                                    double r) {
+  Phase2Partial out = EmptyPhase2(ctx.m);
+  double nn = kInf;
+  bool failed = false;
+  for (int64_t j = 0; j < ctx.count; ++j) {
+    if (std::llabs(j - c) < ctx.m) continue;
+    const double d = ctx.Distance(c, j, std::min(nn, kInf), &out.ops);
+    nn = std::min(nn, d);
+    if (nn < r) {
+      failed = true;
+      break;
     }
   }
-  if (best.position < 0) return std::nullopt;
-  return best;
+  if (!failed && nn >= r && std::isfinite(nn)) {
+    out.best.position = c;
+    out.best.distance = nn;
+  }
+  return out;
 }
 
-// DRAG phase 2, Orchard-style: comparisons ordered by a reference-point
-// lower bound |d_ref(j) - d_ref(c)| <= d(c, j); the scan stops as soon as
-// the lower bound exceeds the current NN. Exact, usually far fewer ops.
-std::optional<Discord> DragPhase2Orchard(
-    const LengthContext& ctx, const std::vector<int64_t>& candidates,
-    double r) {
-  // Reference distances via one MASS profile from the first subsequence.
+// DRAG phase 2, linear scan variant: exact NN distance per candidate with
+// early abandoning; candidates whose NN drops below r are discarded. The
+// per-candidate scans are independent, so they fan out across the pool;
+// the reduction is ordered, so the result (including the ops counter) is
+// identical at every thread count.
+Phase2Partial DragPhase2Linear(const LengthContext& ctx,
+                               const std::vector<int64_t>& candidates,
+                               double r) {
+  return ParallelMapReduce(
+      int64_t{0}, static_cast<int64_t>(candidates.size()), /*grain=*/1,
+      EmptyPhase2(ctx.m),
+      [&](int64_t b, int64_t e) {
+        Phase2Partial acc = EmptyPhase2(ctx.m);
+        for (int64_t k = b; k < e; ++k) {
+          acc = CombinePhase2(
+              std::move(acc),
+              RefineCandidateLinear(ctx, candidates[static_cast<size_t>(k)],
+                                    r));
+        }
+        return acc;
+      },
+      CombinePhase2);
+}
+
+// Refinement ordering shared by every candidate of one Orchard phase-2 run.
+struct OrchardIndex {
+  std::vector<double> d_ref;   // reference distances from subsequence 0
+  std::vector<int64_t> order;  // subsequences sorted by d_ref
+  std::vector<int64_t> rank;   // inverse permutation of order
+};
+
+OrchardIndex BuildOrchardIndex(const LengthContext& ctx) {
+  OrchardIndex idx;
   const std::vector<double> query(ctx.series.begin(),
                                   ctx.series.begin() + ctx.m);
-  const std::vector<double> d_ref = MassDistanceProfile(ctx.series, query);
-  if (ctx.counters != nullptr) ctx.counters->distance_profiles += 1;
-
-  // Order subsequences by reference distance once.
-  std::vector<int64_t> order(static_cast<size_t>(ctx.count));
-  for (int64_t i = 0; i < ctx.count; ++i) order[static_cast<size_t>(i)] = i;
-  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-    return d_ref[static_cast<size_t>(a)] < d_ref[static_cast<size_t>(b)];
-  });
-  std::vector<int64_t> rank(static_cast<size_t>(ctx.count));
+  idx.d_ref = MassDistanceProfile(ctx.series, query);
+  idx.order.resize(static_cast<size_t>(ctx.count));
   for (int64_t i = 0; i < ctx.count; ++i) {
-    rank[static_cast<size_t>(order[static_cast<size_t>(i)])] = i;
+    idx.order[static_cast<size_t>(i)] = i;
   }
+  std::sort(idx.order.begin(), idx.order.end(), [&](int64_t a, int64_t b) {
+    return idx.d_ref[static_cast<size_t>(a)] < idx.d_ref[static_cast<size_t>(b)];
+  });
+  idx.rank.resize(static_cast<size_t>(ctx.count));
+  for (int64_t i = 0; i < ctx.count; ++i) {
+    idx.rank[static_cast<size_t>(idx.order[static_cast<size_t>(i)])] = i;
+  }
+  return idx;
+}
 
-  Discord best;
-  best.distance = -kInf;
-  for (const int64_t c : candidates) {
-    double nn = kInf;
-    bool failed = false;
-    // Walk outward from c's rank: two-pointer over the sorted order gives
-    // non-decreasing lower bounds.
-    int64_t lo = rank[static_cast<size_t>(c)];
-    int64_t hi = lo + 1;
-    const double c_ref = d_ref[static_cast<size_t>(c)];
-    while (lo >= 0 || hi < ctx.count) {
-      int64_t pick;
-      double lb_lo = kInf, lb_hi = kInf;
-      if (lo >= 0) {
-        lb_lo = std::abs(d_ref[static_cast<size_t>(order[static_cast<size_t>(lo)])] - c_ref);
-      }
-      if (hi < ctx.count) {
-        lb_hi = std::abs(d_ref[static_cast<size_t>(order[static_cast<size_t>(hi)])] - c_ref);
-      }
-      if (lb_lo <= lb_hi) {
-        pick = order[static_cast<size_t>(lo)];
-        --lo;
-      } else {
-        pick = order[static_cast<size_t>(hi)];
-        ++hi;
-      }
-      const double lb = std::min(lb_lo, lb_hi);
-      if (lb > nn) break;  // no remaining point can improve the NN
-      if (std::llabs(pick - c) < ctx.m) continue;
-      const double d = ctx.Distance(c, pick, nn);
-      nn = std::min(nn, d);
-      if (nn < r) {
-        failed = true;
-        break;
-      }
+// Orchard-style refinement of one candidate: comparisons ordered by the
+// reference-point lower bound |d_ref(j) - d_ref(c)| <= d(c, j); the walk
+// stops as soon as the lower bound exceeds the current NN. Exact, usually
+// far fewer ops than the linear scan.
+Phase2Partial RefineCandidateOrchard(const LengthContext& ctx,
+                                     const OrchardIndex& idx, int64_t c,
+                                     double r) {
+  Phase2Partial out = EmptyPhase2(ctx.m);
+  double nn = kInf;
+  bool failed = false;
+  // Walk outward from c's rank: two-pointer over the sorted order gives
+  // non-decreasing lower bounds.
+  int64_t lo = idx.rank[static_cast<size_t>(c)];
+  int64_t hi = lo + 1;
+  const double c_ref = idx.d_ref[static_cast<size_t>(c)];
+  while (lo >= 0 || hi < ctx.count) {
+    int64_t pick;
+    double lb_lo = kInf, lb_hi = kInf;
+    if (lo >= 0) {
+      lb_lo = std::abs(
+          idx.d_ref[static_cast<size_t>(idx.order[static_cast<size_t>(lo)])] -
+          c_ref);
     }
-    if (!failed && nn >= r && nn > best.distance && std::isfinite(nn)) {
-      best.position = c;
-      best.length = ctx.m;
-      best.distance = nn;
+    if (hi < ctx.count) {
+      lb_hi = std::abs(
+          idx.d_ref[static_cast<size_t>(idx.order[static_cast<size_t>(hi)])] -
+          c_ref);
+    }
+    if (lb_lo <= lb_hi) {
+      pick = idx.order[static_cast<size_t>(lo)];
+      --lo;
+    } else {
+      pick = idx.order[static_cast<size_t>(hi)];
+      ++hi;
+    }
+    const double lb = std::min(lb_lo, lb_hi);
+    if (lb > nn) break;  // no remaining point can improve the NN
+    if (std::llabs(pick - c) < ctx.m) continue;
+    const double d = ctx.Distance(c, pick, nn, &out.ops);
+    nn = std::min(nn, d);
+    if (nn < r) {
+      failed = true;
+      break;
     }
   }
-  if (best.position < 0) return std::nullopt;
-  return best;
+  if (!failed && nn >= r && std::isfinite(nn)) {
+    out.best.position = c;
+    out.best.distance = nn;
+  }
+  return out;
+}
+
+Phase2Partial DragPhase2Orchard(const LengthContext& ctx,
+                                const OrchardIndex& idx,
+                                const std::vector<int64_t>& candidates,
+                                double r) {
+  return ParallelMapReduce(
+      int64_t{0}, static_cast<int64_t>(candidates.size()), /*grain=*/1,
+      EmptyPhase2(ctx.m),
+      [&](int64_t b, int64_t e) {
+        Phase2Partial acc = EmptyPhase2(ctx.m);
+        for (int64_t k = b; k < e; ++k) {
+          acc = CombinePhase2(
+              std::move(acc),
+              RefineCandidateOrchard(ctx, idx,
+                                     candidates[static_cast<size_t>(k)], r));
+        }
+        return acc;
+      },
+      CombinePhase2);
 }
 
 enum class Phase2 { kLinear, kOrchard };
@@ -168,17 +243,67 @@ Result<std::optional<Discord>> RunDrag(const std::vector<double>& series,
     return Status::InvalidArgument(
         "series too short for non-trivial matches at this length");
   }
-  LengthContext ctx{series, m, n - m + 1, ComputeRollingStats(series, m),
-                    stats};
-  std::vector<int64_t> candidates = DragPhase1(ctx, r);
+  LengthContext ctx{series, m, n - m + 1, ComputeRollingStats(series, m)};
+  int64_t phase1_ops = 0;
+  std::vector<int64_t> candidates = DragPhase1(ctx, r, &phase1_ops);
   if (stats != nullptr) {
+    stats->pointwise_distance_ops += phase1_ops;
     stats->candidates_after_phase1 += static_cast<int64_t>(candidates.size());
   }
   if (candidates.empty()) return std::optional<Discord>(std::nullopt);
+
+  Phase2Partial refined;
   if (phase2 == Phase2::kLinear) {
-    return std::optional<Discord>(DragPhase2Linear(ctx, candidates, r));
+    refined = DragPhase2Linear(ctx, candidates, r);
+  } else {
+    const OrchardIndex idx = BuildOrchardIndex(ctx);
+    if (stats != nullptr) stats->distance_profiles += 1;
+    refined = DragPhase2Orchard(ctx, idx, candidates, r);
   }
-  return std::optional<Discord>(DragPhase2Orchard(ctx, candidates, r));
+  if (stats != nullptr) stats->pointwise_distance_ops += refined.ops;
+  if (refined.best.position < 0) return std::optional<Discord>(std::nullopt);
+  return std::optional<Discord>(refined.best);
+}
+
+// Top discord of one length with an independent, deterministic range
+// control: r starts at the z-norm distance ceiling 2*sqrt(m) and halves on
+// every failed attempt. DRAG returns the *exact* top-1 discord whenever the
+// range admits any candidate, so the discovered discord does not depend on
+// the r trajectory — which is what makes the per-length searches
+// independent and the length sweep parallelizable. (The serial MERLIN
+// control loop instead predicts r from neighbouring lengths' distances;
+// that prediction is only a work-saving heuristic, and dropping it trades
+// a couple of extra halving restarts per length for length-level
+// parallelism with bit-identical output at every thread count.)
+struct LengthOutcome {
+  std::optional<Discord> discord;
+  DiscordStats stats;
+  Status status = Status::OK();
+};
+
+LengthOutcome SearchOneLength(const std::vector<double>& series, int64_t m,
+                              Phase2 phase2) {
+  constexpr int kMaxRetries = 400;
+  LengthOutcome out;
+  const double r_cap = 2.0 * std::sqrt(static_cast<double>(m));
+  double r = std::clamp(r_cap, 1e-6, r_cap * 0.999);
+  int retries = 0;
+  while (retries < kMaxRetries) {
+    auto found = RunDrag(series, m, r, phase2, &out.stats);
+    if (!found.ok()) {
+      out.status = found.status();
+      return out;
+    }
+    if (found->has_value()) {
+      out.discord = **found;
+      return out;
+    }
+    ++out.stats.restarts;
+    ++retries;
+    r *= 0.5;
+    if (r < 1e-9) break;
+  }
+  return out;
 }
 
 Result<MerlinResult> RunMerlin(const std::vector<double>& series,
@@ -192,46 +317,58 @@ Result<MerlinResult> RunMerlin(const std::vector<double>& series,
     return Status::InvalidArgument("series too short for MERLIN range");
   }
 
-  MerlinResult result;
-  std::vector<double> recent_distances;  // last <=5 discord distances
-  constexpr int kMaxRetries = 400;
-
+  std::vector<int64_t> lengths;
   for (int64_t m = min_length; m <= max_length; m += length_step) {
     if (2 * m > n) break;  // longer lengths have no non-trivial match
-    double r;
-    const size_t k = recent_distances.size();
-    if (k == 0) {
-      r = 2.0 * std::sqrt(static_cast<double>(m));
-    } else if (k < 5) {
-      r = recent_distances.back() * 0.99;
-    } else {
-      std::vector<double> last5(recent_distances.end() - 5,
-                                recent_distances.end());
-      r = Mean(last5) - 2.0 * StdDev(last5);
-    }
-    const double r_cap = 2.0 * std::sqrt(static_cast<double>(m));
-    r = std::clamp(r, 1e-6, r_cap * 0.999);
-
-    std::optional<Discord> found;
-    int retries = 0;
-    while (retries < kMaxRetries) {
-      TRIAD_ASSIGN_OR_RETURN(found,
-                             RunDrag(series, m, r, phase2, &result.stats));
-      if (found.has_value()) break;
-      ++result.stats.restarts;
-      ++retries;
-      r = (k == 0) ? r * 0.5 : r * 0.99;
-      if (r < 1e-9) break;
-    }
-    if (found.has_value()) {
-      result.discords.push_back(*found);
-      recent_distances.push_back(found->distance);
-      if (recent_distances.size() > 5) {
-        recent_distances.erase(recent_distances.begin());
-      }
-    }
+    lengths.push_back(m);
   }
-  return result;
+
+  // Fan the per-length searches across the pool; fold the outcomes back in
+  // ascending-length order so discords, counters, and error selection are
+  // independent of the thread count. Nested parallel calls inside RunDrag
+  // degrade gracefully to inline execution on the worker lanes.
+  struct Accum {
+    MerlinResult result;
+    Status first_error = Status::OK();
+  };
+  Accum accum = ParallelMapReduce(
+      int64_t{0}, static_cast<int64_t>(lengths.size()), /*grain=*/1, Accum{},
+      [&](int64_t b, int64_t e) {
+        Accum local;
+        for (int64_t k = b; k < e; ++k) {
+          LengthOutcome one = SearchOneLength(
+              series, lengths[static_cast<size_t>(k)], phase2);
+          if (!one.status.ok() && local.first_error.ok()) {
+            local.first_error = one.status;
+          }
+          if (one.discord.has_value()) {
+            local.result.discords.push_back(*one.discord);
+          }
+          local.result.stats.candidates_after_phase1 +=
+              one.stats.candidates_after_phase1;
+          local.result.stats.pointwise_distance_ops +=
+              one.stats.pointwise_distance_ops;
+          local.result.stats.distance_profiles += one.stats.distance_profiles;
+          local.result.stats.restarts += one.stats.restarts;
+        }
+        return local;
+      },
+      [](Accum acc, Accum next) {
+        if (acc.first_error.ok()) acc.first_error = next.first_error;
+        acc.result.discords.insert(acc.result.discords.end(),
+                                   next.result.discords.begin(),
+                                   next.result.discords.end());
+        acc.result.stats.candidates_after_phase1 +=
+            next.result.stats.candidates_after_phase1;
+        acc.result.stats.pointwise_distance_ops +=
+            next.result.stats.pointwise_distance_ops;
+        acc.result.stats.distance_profiles +=
+            next.result.stats.distance_profiles;
+        acc.result.stats.restarts += next.result.stats.restarts;
+        return acc;
+      });
+  if (!accum.first_error.ok()) return accum.first_error;
+  return accum.result;
 }
 
 }  // namespace

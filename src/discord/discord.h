@@ -36,6 +36,10 @@ Result<Discord> BruteForceDiscord(const std::vector<double>& series,
 /// Returns the top discord whose nearest-neighbour distance is >= r, or
 /// nullopt if no subsequence qualifies (the caller should lower r and retry,
 /// which is exactly what MERLIN automates). `stats` may be null.
+///
+/// Phase 1 (candidate pruning) is order-dependent and runs serially; phase 2
+/// refines each surviving candidate as an independent pool task, with an
+/// ordered strictly-greater reduction that reproduces the serial tie-break.
 Result<std::optional<Discord>> DragDiscord(const std::vector<double>& series,
                                            int64_t m, double r,
                                            DiscordStats* stats = nullptr);
@@ -50,9 +54,14 @@ struct MerlinResult {
 /// \brief MERLIN (Nakamura et al., ICDM'20): parameter-free discovery of the
 /// top discord at every length in [min_length, max_length].
 ///
-/// The range r is seeded at 2*sqrt(m) for the first length, then predicted
-/// from preceding discord distances (mean - 2*sd of the last five), halving
-/// or shrinking by 1% on failure — faithful to the published control loop.
+/// Each length is an independent DRAG search with its own deterministic
+/// range control: r seeds just under 2*sqrt(m) and halves on failure until
+/// a discord qualifies. Because DRAG returns the exact top-1 discord for
+/// any admissible r, this finds the same discords as the paper's serial
+/// r-prediction chain (which only saves restarts) — and it makes the
+/// length sweep embarrassingly parallel. Lengths run as pool tasks on
+/// DefaultPool() and results combine in ascending-length order, so output
+/// is bit-identical at any TRIAD_NUM_THREADS (see ARCHITECTURE.md §3).
 /// `length_step` > 1 searches every step-th length (a speed/coverage knob
 /// used by TriAD's restricted search).
 Result<MerlinResult> Merlin(const std::vector<double>& series,
@@ -62,7 +71,9 @@ Result<MerlinResult> Merlin(const std::vector<double>& series,
 /// \brief MERLIN++-style accelerated variant: identical output, but the
 /// phase-2 nearest-neighbour confirmation orders candidates' comparisons by
 /// an Orchard-style reference-point lower bound so most distance
-/// computations abandon early.
+/// computations abandon early. Parallelized the same way as Merlin():
+/// per-length tasks plus per-candidate phase-2 refinement, both with
+/// thread-count-independent results.
 Result<MerlinResult> MerlinPlusPlus(const std::vector<double>& series,
                                     int64_t min_length, int64_t max_length,
                                     int64_t length_step = 1);

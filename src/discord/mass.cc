@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "signal/fft.h"
 #include "signal/windows.h"
 
@@ -112,16 +113,21 @@ std::vector<double> MatrixProfileNaive(const std::vector<double>& series,
   const int64_t exclusion = m;  // non-self match: |i - j| >= m
   std::vector<double> profile(static_cast<size_t>(count),
                               std::numeric_limits<double>::infinity());
-  for (int64_t i = 0; i < count; ++i) {
-    const std::vector<double> query(series.begin() + i, series.begin() + i + m);
-    const std::vector<double> dp = MassDistanceProfile(series, query);
-    double best = std::numeric_limits<double>::infinity();
-    for (int64_t j = 0; j < count; ++j) {
-      if (std::llabs(j - i) < exclusion) continue;
-      best = std::min(best, dp[static_cast<size_t>(j)]);
+  // Rows are independent (each computes its own MASS profile and writes
+  // only its own slot), so they fan out across the pool deterministically.
+  ParallelFor(0, count, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const std::vector<double> query(series.begin() + i,
+                                      series.begin() + i + m);
+      const std::vector<double> dp = MassDistanceProfile(series, query);
+      double best = std::numeric_limits<double>::infinity();
+      for (int64_t j = 0; j < count; ++j) {
+        if (std::llabs(j - i) < exclusion) continue;
+        best = std::min(best, dp[static_cast<size_t>(j)]);
+      }
+      profile[static_cast<size_t>(i)] = best;
     }
-    profile[static_cast<size_t>(i)] = best;
-  }
+  });
   return profile;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "discord/mass.h"
 #include "signal/fft.h"
 
@@ -11,6 +12,13 @@ namespace triad::discord {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Rows per parallel chunk. Each chunk seeds its first dot-product row with
+// one FFT pass and slides serially inside the chunk, so the decomposition
+// (and therefore every floating-point result) is fixed by this constant
+// alone — never by the thread count. Large enough that the per-chunk FFT
+// seed is amortized over thousands of O(1) sliding updates.
+constexpr int64_t kStompChunkRows = 2048;
 
 // Z-normalized distance from the dot product of two subsequences.
 double DistFromDot(double dot, double mu_a, double sd_a, double mu_b,
@@ -43,50 +51,59 @@ Result<MatrixProfile> Stomp(const std::vector<double>& series, int64_t m) {
   profile.distances.assign(static_cast<size_t>(count), kInf);
   profile.indices.assign(static_cast<size_t>(count), -1);
 
-  // First row of the dot-product matrix via one FFT pass: QT[j] = dot of
-  // subsequence 0 with subsequence j.
-  std::vector<double> qt(static_cast<size_t>(count));
-  {
-    const std::vector<double> first(series.begin(), series.begin() + m);
-    std::vector<double> reversed(first.rbegin(), first.rend());
+  // Dot products of subsequence i with every subsequence j, via one FFT
+  // convolution pass: QT_i[j] = conv[m-1+j].
+  const auto FftRow = [&](int64_t i) {
+    std::vector<double> reversed(series.rend() - (i + m), series.rend() - i);
     const std::vector<double> conv = signal::FftConvolve(series, reversed);
+    std::vector<double> row(static_cast<size_t>(count));
     for (int64_t j = 0; j < count; ++j) {
-      qt[static_cast<size_t>(j)] = conv[static_cast<size_t>(m - 1 + j)];
+      row[static_cast<size_t>(j)] = conv[static_cast<size_t>(m - 1 + j)];
     }
-  }
-  const std::vector<double> first_row = qt;  // QT for i = 0, reused below
+    return row;
+  };
+  // Row 0 doubles as the symmetry source for every chunk's sliding updates:
+  // QT_i[0] = QT_0[i].
+  const std::vector<double> first_row = FftRow(0);
 
-  for (int64_t i = 0; i < count; ++i) {
-    if (i > 0) {
-      // O(1) sliding update per cell, back to front:
-      // QT_i[j] = QT_{i-1}[j-1] - x[i-1]x[j-1] + x[i+m-1]x[j+m-1].
-      for (int64_t j = count - 1; j >= 1; --j) {
-        qt[static_cast<size_t>(j)] =
-            qt[static_cast<size_t>(j - 1)] -
-            series[static_cast<size_t>(i - 1)] *
-                series[static_cast<size_t>(j - 1)] +
-            series[static_cast<size_t>(i + m - 1)] *
-                series[static_cast<size_t>(j + m - 1)];
+  // Chunks of rows; each chunk seeds its first row with an FFT pass (chunk
+  // 0 reuses row 0) and applies the O(1) sliding update within the chunk.
+  ParallelFor(0, count, kStompChunkRows, [&](int64_t row_begin,
+                                             int64_t row_end) {
+    std::vector<double> qt =
+        row_begin == 0 ? first_row : FftRow(row_begin);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      if (i > row_begin) {
+        // O(1) sliding update per cell, back to front:
+        // QT_i[j] = QT_{i-1}[j-1] - x[i-1]x[j-1] + x[i+m-1]x[j+m-1].
+        for (int64_t j = count - 1; j >= 1; --j) {
+          qt[static_cast<size_t>(j)] =
+              qt[static_cast<size_t>(j - 1)] -
+              series[static_cast<size_t>(i - 1)] *
+                  series[static_cast<size_t>(j - 1)] +
+              series[static_cast<size_t>(i + m - 1)] *
+                  series[static_cast<size_t>(j + m - 1)];
+        }
+        qt[0] = first_row[static_cast<size_t>(i)];  // QT_i[0] = QT_0[i]
       }
-      qt[0] = first_row[static_cast<size_t>(i)];  // symmetry: QT_i[0] = QT_0[i]
-    }
-    double best = kInf;
-    int64_t best_j = -1;
-    for (int64_t j = 0; j < count; ++j) {
-      if (std::llabs(j - i) < exclusion) continue;
-      const double d = DistFromDot(
-          qt[static_cast<size_t>(j)], stats.mean[static_cast<size_t>(i)],
-          stats.stddev[static_cast<size_t>(i)],
-          stats.mean[static_cast<size_t>(j)],
-          stats.stddev[static_cast<size_t>(j)], m);
-      if (d < best) {
-        best = d;
-        best_j = j;
+      double best = kInf;
+      int64_t best_j = -1;
+      for (int64_t j = 0; j < count; ++j) {
+        if (std::llabs(j - i) < exclusion) continue;
+        const double d = DistFromDot(
+            qt[static_cast<size_t>(j)], stats.mean[static_cast<size_t>(i)],
+            stats.stddev[static_cast<size_t>(i)],
+            stats.mean[static_cast<size_t>(j)],
+            stats.stddev[static_cast<size_t>(j)], m);
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
       }
+      profile.distances[static_cast<size_t>(i)] = best;
+      profile.indices[static_cast<size_t>(i)] = best_j;
     }
-    profile.distances[static_cast<size_t>(i)] = best;
-    profile.indices[static_cast<size_t>(i)] = best_j;
-  }
+  });
   return profile;
 }
 
