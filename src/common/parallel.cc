@@ -177,7 +177,7 @@ ScopedDefaultPool::~ScopedDefaultPool() { g_default_override = previous_; }
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn,
                  ThreadPool* pool) {
-  const int64_t g = std::max<int64_t>(1, grain);
+  const int64_t g = ParallelEffectiveGrain(begin, end, grain);
   const int64_t chunks = ParallelChunkCount(begin, end, g);
   if (chunks == 0) return;
   if (pool == nullptr) pool = DefaultPool();

@@ -92,11 +92,24 @@ class ScopedDefaultPool {
   ThreadPool* previous_ = nullptr;
 };
 
+/// Effective grain for [begin, end): the caller's grain clamped to
+/// [1, end - begin]. The upper clamp costs nothing (a grain beyond the
+/// range size is one chunk either way) and keeps the chunk arithmetic —
+/// `end - begin + g - 1` and `begin + chunk * g` — overflow-free even for
+/// adversarial grains like INT64_MAX, which previously wrapped the chunk
+/// count negative and silently skipped the whole range.
+inline int64_t ParallelEffectiveGrain(int64_t begin, int64_t end,
+                                      int64_t grain) {
+  return std::clamp<int64_t>(grain, 1, std::max<int64_t>(1, end - begin));
+}
+
 /// Number of fixed-size chunks ParallelFor uses for [begin, end) at the
 /// given grain; depends only on the range and grain, never on the pool.
+/// Every chunk is non-empty: ceil division over the clamped grain cannot
+/// produce a zero-size tail.
 inline int64_t ParallelChunkCount(int64_t begin, int64_t end, int64_t grain) {
   if (end <= begin) return 0;
-  const int64_t g = std::max<int64_t>(1, grain);
+  const int64_t g = ParallelEffectiveGrain(begin, end, grain);
   return (end - begin + g - 1) / g;
 }
 
@@ -121,7 +134,9 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 template <typename T, typename MapFn, typename CombineFn>
 T ParallelMapReduce(int64_t begin, int64_t end, int64_t grain, T init,
                     MapFn map, CombineFn combine, ThreadPool* pool = nullptr) {
-  const int64_t g = std::max<int64_t>(1, grain);
+  // Same clamped grain as ParallelFor, so the partial-slot index below
+  // agrees with the chunk decomposition.
+  const int64_t g = ParallelEffectiveGrain(begin, end, grain);
   const int64_t chunks = ParallelChunkCount(begin, end, g);
   if (chunks == 0) return init;
   std::vector<std::optional<T>> partials(static_cast<size_t>(chunks));

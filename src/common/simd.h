@@ -1,0 +1,157 @@
+#ifndef TRIAD_COMMON_SIMD_H_
+#define TRIAD_COMMON_SIMD_H_
+
+#include <cstdint>
+
+namespace triad::simd {
+
+/// \brief Instruction-set tiers the kernel layer can dispatch to.
+///
+/// The tier is chosen once at startup (see ActiveLevel) from what the CPU
+/// supports and the `TRIAD_SIMD` environment variable:
+///
+///   TRIAD_SIMD=off | scalar   force the portable scalar path
+///   TRIAD_SIMD=avx2           force AVX2+FMA (falls back to scalar if the
+///                             CPU lacks it)
+///   TRIAD_SIMD=auto | unset   highest tier the CPU supports
+///
+/// Determinism contract (see ARCHITECTURE.md §4):
+///
+///  * **Elementwise kernels** (Axpy, Add, Mul, Relu, SlidingDotUpdate,
+///    ZNormDistRow) perform the exact same IEEE operation sequence per
+///    element at every tier — vector lanes are just scalar lanes side by
+///    side, and FMA contraction is never used — so their output is
+///    **bit-identical** to the scalar reference.
+///  * **Reduction kernels** (Dot, Sum) accumulate in double precision at
+///    every tier; the vector tiers use a fixed-width lane split, so the
+///    only divergence from the scalar reference is double-rounding of
+///    reordered exact partials — within a few ULPs of the result, and
+///    bit-stable run-to-run at a given tier.
+///
+/// Combined with the fixed chunking of common/parallel.h, results are
+/// bit-identical across thread counts at any given tier.
+enum class Level : int {
+  kScalar = 0,
+  kAvx2 = 1,  ///< AVX2 + FMA (FMA used only where contraction is allowed)
+};
+
+/// Name for logs/benchmark labels ("scalar", "avx2").
+const char* LevelName(Level level);
+
+/// Highest tier this CPU can execute (ignores TRIAD_SIMD).
+Level HighestSupportedLevel();
+
+/// The tier kernels dispatch to: decided once from HighestSupportedLevel()
+/// and TRIAD_SIMD, then cached; ScopedForceLevel overrides it.
+Level ActiveLevel();
+
+/// \brief RAII override of ActiveLevel() for the equivalence tests and the
+/// scalar-vs-SIMD benches. Requests above HighestSupportedLevel() are
+/// clamped. Overrides nest; install/remove from a single thread only (the
+/// same discipline as ScopedDefaultPool).
+class ScopedForceLevel {
+ public:
+  explicit ScopedForceLevel(Level level);
+  ~ScopedForceLevel();
+
+  ScopedForceLevel(const ScopedForceLevel&) = delete;
+  ScopedForceLevel& operator=(const ScopedForceLevel&) = delete;
+
+ private:
+  int previous_;  // -1 = no override was active
+};
+
+// ---------------------------------------------------------------------------
+// Reduction kernels (double accumulation; ≤ a few ULP across tiers).
+// ---------------------------------------------------------------------------
+
+/// sum_i a[i] * b[i], accumulated in double (float x float products are
+/// exact in double, so tiers differ only by summation order).
+double Dot(const float* a, const float* b, int64_t n);
+
+/// sum_i x[i], accumulated in double.
+double Sum(const float* x, int64_t n);
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels (bit-identical across tiers).
+// ---------------------------------------------------------------------------
+
+/// y[i] += alpha * x[i] (separate round of the product and the add — no
+/// FMA — so every tier matches the scalar reference bit for bit).
+void Axpy(float alpha, const float* x, float* y, int64_t n);
+
+/// out[i] = a[i] + b[i].
+void Add(const float* a, const float* b, float* out, int64_t n);
+
+/// out[i] = a[i] * b[i].
+void Mul(const float* a, const float* b, float* out, int64_t n);
+
+/// out[i] = max(x[i], 0) with the `x > 0 ? x : 0` branch semantics of the
+/// scalar path (so relu(-0.0) = 0.0 and relu(NaN) = 0 at every tier).
+void Relu(const float* x, float* out, int64_t n);
+
+/// \brief In-place backward sliding-dot-product update shared by STOMP.
+///
+/// For j = n-1 down to 1:  qt[j] = qt[j-1] - drop * tail[j-1] + add * head[j-1]
+/// (qt[0] is left untouched; the caller patches it from the symmetry row).
+/// Each output element depends only on *pre-update* values, so the vector
+/// tiers compute blocks top-down with the identical mul/sub/mul/add
+/// sequence and stay bit-identical to the scalar loop.
+void SlidingDotUpdate(double* qt, int64_t n, double drop, const double* tail,
+                      double add, const double* head);
+
+/// \brief Fused multi-tap row accumulation — the inner kernel of Conv1d
+/// forward and the dense matmul.
+///
+///   orow[l] += sum_{ci, t} w[ci*taps + t] * x[ci*xstride + l + t*dilation]
+///
+/// applied per element in (ci, t) order with a separate round of each
+/// product and add (no FMA). That per-element chain is exactly what the
+/// one-axpy-per-tap formulation produces, so all tiers are bit-identical
+/// to the scalar reference; the vector tiers just keep a register block of
+/// `orow` live across all cin*taps terms instead of re-reading the row per
+/// tap. Taps whose weight is exactly 0.0f are skipped at every tier.
+/// `x` and `orow` must not alias. A dense matmul row is the degenerate
+/// conv: taps = 1, dilation = 0, xstride = row stride of the B matrix.
+void ConvRowAccum(const float* x, int64_t xstride, const float* w,
+                  int64_t cin, int64_t taps, int64_t dilation, float* orow,
+                  int64_t lout);
+
+/// \brief Z-normalized distance row shared by MASS and STOMP.
+///
+/// Given sliding dot products `dot[j]` of a fixed query subsequence
+/// (mean mu_q, stddev sd_q, length m) against window j (mean mu[j], stddev
+/// sd[j]):
+///
+///   corr[j] = (dot[j] - (m*mu_q)*mu[j]) / ((m*sd_q)*sd[j])
+///   out[j]  = sqrt(max(0, 2m * (1 - clamp(corr[j], -1, 1))))
+///
+/// Flat guards: any stddev < 1e-12 yields the max distance 2*sqrt(m), or 0
+/// when both sides are flat. Division and sqrt are correctly rounded IEEE
+/// ops, so vector tiers are bit-identical to the scalar reference.
+void ZNormDistRow(const double* dot, const double* mu, const double* sd,
+                  double mu_q, double sd_q, int64_t m, double* out, int64_t n);
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations, exported for the equivalence tests and
+// as the dispatch targets of the kScalar tier.
+// ---------------------------------------------------------------------------
+namespace scalar {
+double Dot(const float* a, const float* b, int64_t n);
+double Sum(const float* x, int64_t n);
+void Axpy(float alpha, const float* x, float* y, int64_t n);
+void Add(const float* a, const float* b, float* out, int64_t n);
+void Mul(const float* a, const float* b, float* out, int64_t n);
+void Relu(const float* x, float* out, int64_t n);
+void ConvRowAccum(const float* x, int64_t xstride, const float* w,
+                  int64_t cin, int64_t taps, int64_t dilation, float* orow,
+                  int64_t lout);
+void SlidingDotUpdate(double* qt, int64_t n, double drop, const double* tail,
+                      double add, const double* head);
+void ZNormDistRow(const double* dot, const double* mu, const double* sd,
+                  double mu_q, double sd_q, int64_t m, double* out, int64_t n);
+}  // namespace scalar
+
+}  // namespace triad::simd
+
+#endif  // TRIAD_COMMON_SIMD_H_

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/features.h"
@@ -61,13 +62,12 @@ std::vector<double> MeanPairwiseSimilarity(
   ParallelFor(0, M, kSimilarityGrain, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       double total = 0.0;
+      const auto& a = reps[static_cast<size_t>(i)];
       for (int64_t j = 0; j < M; ++j) {
         if (i == j) continue;
-        double dot = 0.0;
-        const auto& a = reps[static_cast<size_t>(i)];
         const auto& b = reps[static_cast<size_t>(j)];
-        for (size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
-        total += dot;
+        total += simd::Dot(a.data(), b.data(),
+                           static_cast<int64_t>(a.size()));
       }
       sim[static_cast<size_t>(i)] =
           M > 1 ? total / static_cast<double>(M - 1) : 0.0;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "signal/fft.h"
 #include "signal/windows.h"
 
@@ -53,7 +54,6 @@ std::vector<double> MassDistanceProfile(const std::vector<double>& series,
   double q_ss = 0.0;
   for (double v : query) q_ss += (v - q_mean) * (v - q_mean);
   const double q_std = std::sqrt(q_ss / static_cast<double>(m));
-  const bool query_flat = q_std < 1e-12;
 
   // Sliding dot products: reverse the query and convolve.
   std::vector<double> reversed(query.rbegin(), query.rend());
@@ -61,25 +61,13 @@ std::vector<double> MassDistanceProfile(const std::vector<double>& series,
   // conv[m-1 + i] = sum_j series[i+j] * query[j].
 
   const RollingStats stats = ComputeRollingStats(series, m);
-  const double max_dist = 2.0 * std::sqrt(static_cast<double>(m));
 
+  // dot[i] = conv[m-1+i]; the dot->distance conversion (flat guards
+  // included) is the vectorized kernel shared with STOMP.
   std::vector<double> profile(static_cast<size_t>(count));
-  for (int64_t i = 0; i < count; ++i) {
-    const double s_std = stats.stddev[static_cast<size_t>(i)];
-    const bool window_flat = s_std < 1e-12;
-    if (query_flat || window_flat) {
-      profile[static_cast<size_t>(i)] =
-          (query_flat && window_flat) ? 0.0 : max_dist;
-      continue;
-    }
-    const double dot = conv[static_cast<size_t>(m - 1 + i)];
-    const double corr =
-        (dot - static_cast<double>(m) * stats.mean[static_cast<size_t>(i)] * q_mean) /
-        (static_cast<double>(m) * s_std * q_std);
-    const double clamped = std::clamp(corr, -1.0, 1.0);
-    profile[static_cast<size_t>(i)] =
-        std::sqrt(2.0 * static_cast<double>(m) * (1.0 - clamped));
-  }
+  simd::ZNormDistRow(conv.data() + (m - 1), stats.mean.data(),
+                     stats.stddev.data(), q_mean, q_std, m, profile.data(),
+                     count);
   return profile;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "discord/mass.h"
 #include "signal/fft.h"
 
@@ -19,20 +20,6 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // alone — never by the thread count. Large enough that the per-chunk FFT
 // seed is amortized over thousands of O(1) sliding updates.
 constexpr int64_t kStompChunkRows = 2048;
-
-// Z-normalized distance from the dot product of two subsequences.
-double DistFromDot(double dot, double mu_a, double sd_a, double mu_b,
-                   double sd_b, int64_t m) {
-  const double max_dist = 2.0 * std::sqrt(static_cast<double>(m));
-  const bool a_flat = sd_a < 1e-12;
-  const bool b_flat = sd_b < 1e-12;
-  if (a_flat || b_flat) return (a_flat && b_flat) ? 0.0 : max_dist;
-  const double corr =
-      (dot - static_cast<double>(m) * mu_a * mu_b) /
-      (static_cast<double>(m) * sd_a * sd_b);
-  return std::sqrt(
-      std::max(0.0, 2.0 * static_cast<double>(m) * (1.0 - std::clamp(corr, -1.0, 1.0))));
-}
 
 }  // namespace
 
@@ -72,29 +59,29 @@ Result<MatrixProfile> Stomp(const std::vector<double>& series, int64_t m) {
                                              int64_t row_end) {
     std::vector<double> qt =
         row_begin == 0 ? first_row : FftRow(row_begin);
+    std::vector<double> dist(static_cast<size_t>(count));
     for (int64_t i = row_begin; i < row_end; ++i) {
       if (i > row_begin) {
-        // O(1) sliding update per cell, back to front:
+        // O(1) sliding update per cell (vectorized kernel, back to front):
         // QT_i[j] = QT_{i-1}[j-1] - x[i-1]x[j-1] + x[i+m-1]x[j+m-1].
-        for (int64_t j = count - 1; j >= 1; --j) {
-          qt[static_cast<size_t>(j)] =
-              qt[static_cast<size_t>(j - 1)] -
-              series[static_cast<size_t>(i - 1)] *
-                  series[static_cast<size_t>(j - 1)] +
-              series[static_cast<size_t>(i + m - 1)] *
-                  series[static_cast<size_t>(j + m - 1)];
-        }
+        simd::SlidingDotUpdate(qt.data(), count,
+                               series[static_cast<size_t>(i - 1)],
+                               series.data(),
+                               series[static_cast<size_t>(i + m - 1)],
+                               series.data() + m);
         qt[0] = first_row[static_cast<size_t>(i)];  // QT_i[0] = QT_0[i]
       }
+      // Whole distance row at once (elementwise, bit-identical across SIMD
+      // tiers), then a scalar argmin honoring the exclusion zone.
+      simd::ZNormDistRow(qt.data(), stats.mean.data(), stats.stddev.data(),
+                         stats.mean[static_cast<size_t>(i)],
+                         stats.stddev[static_cast<size_t>(i)], m, dist.data(),
+                         count);
       double best = kInf;
       int64_t best_j = -1;
       for (int64_t j = 0; j < count; ++j) {
         if (std::llabs(j - i) < exclusion) continue;
-        const double d = DistFromDot(
-            qt[static_cast<size_t>(j)], stats.mean[static_cast<size_t>(i)],
-            stats.stddev[static_cast<size_t>(i)],
-            stats.mean[static_cast<size_t>(j)],
-            stats.stddev[static_cast<size_t>(j)], m);
+        const double d = dist[static_cast<size_t>(j)];
         if (d < best) {
           best = d;
           best_j = j;

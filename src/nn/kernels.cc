@@ -1,0 +1,107 @@
+#include "nn/kernels.h"
+
+#include "common/simd.h"
+
+namespace triad::nn::kernels {
+
+// The `av == 0` skips mirror the pre-kernel scalar code: Xavier init makes
+// exact zeros rare in weights, but gradients and padded activations hit
+// them often (ReLU, zero padding), and skipping a whole axpy/dot row is
+// profitable at any SIMD tier. Skipped rows contribute exactly nothing in
+// either path, so the skip never changes results.
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  // Each output row is a fused multi-tap accumulation: row i of A is the
+  // tap weights, the rows of B are the tap inputs (taps=1, dilation=0).
+  for (int64_t i = 0; i < m; ++i) {
+    simd::ConvRowAccum(b, /*xstride=*/n, a + i * k, /*cin=*/k, /*taps=*/1,
+                       /*dilation=*/0, c + i * n, n);
+  }
+}
+
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      simd::Axpy(av, brow, c + i * n, n);
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t n,
+                int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      crow[p] += static_cast<float>(simd::Dot(arow, b + p * n, n));
+    }
+  }
+}
+
+void Conv1dForward(const float* xpad, const float* w, float* out, int64_t B,
+                   int64_t Cin, int64_t Cout, int64_t K, int64_t Lpad,
+                   int64_t Lout, int64_t dilation) {
+  // All Cin*K taps of one output row fuse into a single register-blocked
+  // pass over the row (simd::ConvRowAccum) instead of one axpy per tap.
+  for (int64_t b = 0; b < B; ++b) {
+    const float* xbatch = xpad + b * Cin * Lpad;
+    for (int64_t co = 0; co < Cout; ++co) {
+      simd::ConvRowAccum(xbatch, Lpad, w + co * Cin * K, Cin, K, dilation,
+                         out + (b * Cout + co) * Lout, Lout);
+    }
+  }
+}
+
+void Conv1dBackwardInput(const float* g, const float* w, float* gxpad,
+                         int64_t B, int64_t Cin, int64_t Cout, int64_t K,
+                         int64_t Lpad, int64_t Lout, int64_t dilation) {
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t co = 0; co < Cout; ++co) {
+      const float* grow = g + (b * Cout + co) * Lout;
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        float* xrow = gxpad + (b * Cin + ci) * Lpad;
+        const float* wrow = w + (co * Cin + ci) * K;
+        for (int64_t k = 0; k < K; ++k) {
+          const float wv = wrow[k];
+          if (wv == 0.0f) continue;
+          simd::Axpy(wv, grow, xrow + k * dilation, Lout);
+        }
+      }
+    }
+  }
+}
+
+void Conv1dBackwardWeight(const float* g, const float* xpad, float* gw,
+                          int64_t B, int64_t Cin, int64_t Cout, int64_t K,
+                          int64_t Lpad, int64_t Lout, int64_t dilation) {
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t co = 0; co < Cout; ++co) {
+      const float* grow = g + (b * Cout + co) * Lout;
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        const float* xrow = xpad + (b * Cin + ci) * Lpad;
+        float* wrow = gw + (co * Cin + ci) * K;
+        for (int64_t k = 0; k < K; ++k) {
+          wrow[k] +=
+              static_cast<float>(simd::Dot(xrow + k * dilation, grow, Lout));
+        }
+      }
+    }
+  }
+}
+
+void Conv1dBackwardBias(const float* g, float* gb, int64_t B, int64_t Cout,
+                        int64_t Lout) {
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t co = 0; co < Cout; ++co) {
+      gb[co] += static_cast<float>(simd::Sum(g + (b * Cout + co) * Lout, Lout));
+    }
+  }
+}
+
+}  // namespace triad::nn::kernels

@@ -1,0 +1,59 @@
+#ifndef TRIAD_NN_KERNELS_H_
+#define TRIAD_NN_KERNELS_H_
+
+#include <cstdint>
+
+namespace triad::nn::kernels {
+
+/// \brief Shape-aware kernels for the encoder/dense hot paths.
+///
+/// These wrap the runtime-dispatched primitives of common/simd.h into the
+/// loop nests ops.cc (MatMul, Conv1d) runs per batch element. Numerics
+/// follow the simd.h determinism contract: GEMM forward / Conv1d forward /
+/// Conv1d input-gradient are pure axpy chains and therefore bit-identical
+/// across SIMD tiers; GemmTransB and the Conv1d weight/bias gradients use
+/// the double-accumulated reductions and may differ from the scalar tier
+/// by a few ULPs (locked down by tests/kernel_equivalence_test.cc).
+///
+/// All matrices are dense row-major; every kernel *accumulates* into its
+/// output (callers pass zeroed or bias-initialized buffers).
+
+/// C[m,n] += A[m,k] * B[k,n].
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n);
+
+/// C[m,n] += A[k,m]^T * B[k,n].
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n);
+
+/// C[m,k] += A[m,n] * B[k,n]^T.
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t n,
+                int64_t k);
+
+/// Conv1d forward over a pre-padded input:
+///   out[b,co,t] += sum_{ci,k} w[co,ci,k] * xpad[b,ci,t + k*dilation]
+/// `xpad` is [B, Cin, Lpad] and `out` is [B, Cout, Lout] (pre-initialized
+/// with the bias, or zeros).
+void Conv1dForward(const float* xpad, const float* w, float* out, int64_t B,
+                   int64_t Cin, int64_t Cout, int64_t K, int64_t Lpad,
+                   int64_t Lout, int64_t dilation);
+
+/// Gradient w.r.t. the padded input:
+///   gxpad[b,ci,t + k*dilation] += w[co,ci,k] * g[b,co,t]
+void Conv1dBackwardInput(const float* g, const float* w, float* gxpad,
+                         int64_t B, int64_t Cin, int64_t Cout, int64_t K,
+                         int64_t Lpad, int64_t Lout, int64_t dilation);
+
+/// Gradient w.r.t. the weights:
+///   gw[co,ci,k] += sum_t xpad[b,ci,t + k*dilation] * g[b,co,t]
+void Conv1dBackwardWeight(const float* g, const float* xpad, float* gw,
+                          int64_t B, int64_t Cin, int64_t Cout, int64_t K,
+                          int64_t Lpad, int64_t Lout, int64_t dilation);
+
+/// Gradient w.r.t. the bias: gb[co] += sum_{b,t} g[b,co,t].
+void Conv1dBackwardBias(const float* g, float* gb, int64_t B, int64_t Cout,
+                        int64_t Lout);
+
+}  // namespace triad::nn::kernels
+
+#endif  // TRIAD_NN_KERNELS_H_

@@ -27,7 +27,9 @@ class Module {
 
 /// \brief Affine map  y = x W + b  applied over the last axis.
 ///
-/// Accepts [*, in] inputs of rank 2 or 3.
+/// Accepts [*, in] inputs of rank 2 or 3. The matmuls (forward and both
+/// gradients) route through the dispatched SIMD kernels of nn/kernels.h;
+/// see ARCHITECTURE.md §4 for the per-kernel determinism classes.
 class Linear : public Module {
  public:
   /// Xavier-uniform initialized weights; `rng` drives the initialization.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
+#include "nn/kernels.h"
+
 namespace triad::nn {
 namespace {
 
@@ -77,8 +80,13 @@ Var Constant(Tensor value) { return Var(std::move(value), false); }
 
 Var Add(const Var& a, const Var& b) {
   const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
-  Tensor out = BinaryForward(a.value(), b.value(), pattern,
-                             [](float x, float y) { return x + y; });
+  Tensor out(a.value().shape());
+  if (pattern == Bcast::kSame) {
+    simd::Add(a.value().data(), b.value().data(), out.data(), out.size());
+  } else {
+    out = BinaryForward(a.value(), b.value(), pattern,
+                        [](float x, float y) { return x + y; });
+  }
   auto an = a.node();
   auto bn = b.node();
   return Var::MakeNode(std::move(out), {an, bn}, [an, bn, pattern](Node& n) {
@@ -108,8 +116,13 @@ Var Sub(const Var& a, const Var& b) {
 
 Var Mul(const Var& a, const Var& b) {
   const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
-  Tensor out = BinaryForward(a.value(), b.value(), pattern,
-                             [](float x, float y) { return x * y; });
+  Tensor out(a.value().shape());
+  if (pattern == Bcast::kSame) {
+    simd::Mul(a.value().data(), b.value().data(), out.data(), out.size());
+  } else {
+    out = BinaryForward(a.value(), b.value(), pattern,
+                        [](float x, float y) { return x * y; });
+  }
   auto an = a.node();
   auto bn = b.node();
   return Var::MakeNode(std::move(out), {an, bn}, [an, bn, pattern](Node& n) {
@@ -206,9 +219,22 @@ Var UnaryOp(const Var& a, Fn fn, Dfn dfn) {
 }  // namespace
 
 Var Relu(const Var& a) {
-  return UnaryOp(
-      a, [](float x) { return x > 0 ? x : 0.0f; },
-      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+  // Dedicated path (not UnaryOp): the forward is the vectorized kernel and
+  // the backward masks the incoming gradient without materializing a
+  // derivative tensor per element.
+  Tensor out(a.value().shape());
+  simd::Relu(a.value().data(), out.data(), out.size());
+  auto an = a.node();
+  return Var::MakeNode(std::move(out), {an}, [an](Node& nd) {
+    if (!an->requires_grad) return;
+    Tensor g(an->value.shape());
+    const int64_t m = g.size();
+    const float* x = an->value.data();
+    const float* dy = nd.grad.data();
+    float* dst = g.data();
+    for (int64_t i = 0; i < m; ++i) dst[i] = x[i] > 0 ? dy[i] : 0.0f;
+    an->AccumulateGrad(g);
+  });
 }
 
 Var LeakyRelu(const Var& a, float slope) {
@@ -280,53 +306,11 @@ Var Gelu(const Var& a) {
       });
 }
 
-namespace {
-
-// C = A[m,k] * B[k,n] (optionally accumulating) — cache-friendly ikj order.
-void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
-          int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C += A^T[k,m]^T... specifically C[m,n] += A[k,m]^T * B[k,n].
-void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                int64_t n) {
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[m,k] += A[m,n] * B[k,n]^T.
-void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t n,
-                int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * n;
-    float* crow = c + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* brow = b + p * n;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < n; ++j) dot += arow[j] * brow[j];
-      crow[p] += dot;
-    }
-  }
-}
-
-}  // namespace
+// The GEMM micro-kernels (cache-friendly ikj order over runtime-dispatched
+// axpy/dot rows) live in nn/kernels.cc.
+using kernels::Gemm;
+using kernels::GemmTransA;
+using kernels::GemmTransB;
 
 Var MatMul(const Var& a, const Var& b) {
   const Tensor& av = a.value();
@@ -479,25 +463,17 @@ Var Conv1d(const Var& input, const Var& weight, const Var& bias,
   }
 
   Tensor out({B, Cout, Lout});
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t co = 0; co < Cout; ++co) {
-      float* orow = out.data() + (b * Cout + co) * Lout;
-      if (has_bias) {
+  if (has_bias) {
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t co = 0; co < Cout; ++co) {
+        float* orow = out.data() + (b * Cout + co) * Lout;
         const float bv = bias.value()[co];
         for (int64_t t = 0; t < Lout; ++t) orow[t] = bv;
       }
-      for (int64_t ci = 0; ci < Cin; ++ci) {
-        const float* xrow = xpad.data() + (b * Cin + ci) * Lpad;
-        const float* wrow = w.data() + (co * Cin + ci) * K;
-        for (int64_t k = 0; k < K; ++k) {
-          const float wv = wrow[k];
-          if (wv == 0.0f) continue;
-          const float* xs = xrow + k * dilation;
-          for (int64_t t = 0; t < Lout; ++t) orow[t] += wv * xs[t];
-        }
-      }
     }
   }
+  kernels::Conv1dForward(xpad.data(), w.data(), out.data(), B, Cin, Cout, K,
+                         Lpad, Lout, dilation);
 
   auto xn = input.node();
   auto wn = weight.node();
@@ -515,21 +491,9 @@ Var Conv1d(const Var& input, const Var& weight, const Var& bias,
         const Tensor& g = nd.grad;
         if (xn->requires_grad) {
           Tensor gxpad({B, Cin, Lpad});
-          for (int64_t b = 0; b < B; ++b) {
-            for (int64_t co = 0; co < Cout; ++co) {
-              const float* grow = g.data() + (b * Cout + co) * Lout;
-              for (int64_t ci = 0; ci < Cin; ++ci) {
-                float* xrow = gxpad.data() + (b * Cin + ci) * Lpad;
-                const float* wrow = wn->value.data() + (co * Cin + ci) * K;
-                for (int64_t k = 0; k < K; ++k) {
-                  const float wv = wrow[k];
-                  if (wv == 0.0f) continue;
-                  float* xs = xrow + k * dilation;
-                  for (int64_t t = 0; t < Lout; ++t) xs[t] += wv * grow[t];
-                }
-              }
-            }
-          }
+          kernels::Conv1dBackwardInput(g.data(), wn->value.data(),
+                                       gxpad.data(), B, Cin, Cout, K, Lpad,
+                                       Lout, dilation);
           Tensor gx({B, Cin, L});
           for (int64_t b = 0; b < B; ++b) {
             for (int64_t c = 0; c < Cin; ++c) {
@@ -542,41 +506,20 @@ Var Conv1d(const Var& input, const Var& weight, const Var& bias,
         }
         if (wn->requires_grad) {
           Tensor gw({Cout, Cin, K});
-          for (int64_t b = 0; b < B; ++b) {
-            for (int64_t co = 0; co < Cout; ++co) {
-              const float* grow = g.data() + (b * Cout + co) * Lout;
-              for (int64_t ci = 0; ci < Cin; ++ci) {
-                const float* xrow = xpad.data() + (b * Cin + ci) * Lpad;
-                float* wrow = gw.data() + (co * Cin + ci) * K;
-                for (int64_t k = 0; k < K; ++k) {
-                  const float* xs = xrow + k * dilation;
-                  float dot = 0.0f;
-                  for (int64_t t = 0; t < Lout; ++t) dot += xs[t] * grow[t];
-                  wrow[k] += dot;
-                }
-              }
-            }
-          }
+          kernels::Conv1dBackwardWeight(g.data(), xpad.data(), gw.data(), B,
+                                        Cin, Cout, K, Lpad, Lout, dilation);
           wn->AccumulateGrad(gw);
         }
         if (bnode && bnode->requires_grad) {
           Tensor gb({Cout});
-          for (int64_t b = 0; b < B; ++b) {
-            for (int64_t co = 0; co < Cout; ++co) {
-              const float* grow = g.data() + (b * Cout + co) * Lout;
-              float s = 0.0f;
-              for (int64_t t = 0; t < Lout; ++t) s += grow[t];
-              gb[co] += s;
-            }
-          }
+          kernels::Conv1dBackwardBias(g.data(), gb.data(), B, Cout, Lout);
           bnode->AccumulateGrad(gb);
         }
       });
 }
 
 Var SumAll(const Var& a) {
-  double s = 0.0;
-  for (int64_t i = 0; i < a.value().size(); ++i) s += a.value()[i];
+  const double s = simd::Sum(a.value().data(), a.value().size());
   auto an = a.node();
   return Var::MakeNode(Tensor::Scalar(static_cast<float>(s)), {an},
                        [an](Node& nd) {

@@ -1,0 +1,426 @@
+// Property-based equivalence of the dispatched SIMD kernels against the
+// scalar reference (common/simd.h, nn/kernels.h), over randomized shapes:
+// unaligned lengths, vector-remainder tails, denormals, signed zeros and
+// ±inf. The determinism contract under test:
+//
+//  * elementwise kernels (axpy/add/mul/relu, the STOMP sliding-dot update,
+//    the z-norm distance row) are BIT-IDENTICAL to the scalar reference;
+//  * reduction kernels (dot/sum and the conv/gemm gradients built on them)
+//    accumulate in double at every tier and may diverge only by reordered
+//    double-rounding — asserted here as <= 4 ULP of the float32 result.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "nn/kernels.h"
+
+namespace triad {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kDenorm = 1e-42f;  // subnormal float
+
+// Lengths that exercise every dispatch regime: below one vector, exactly
+// one vector, straddling the 8/4-lane block boundary, and large.
+const std::vector<int64_t> kLengths = {1,  2,  3,  4,  5,  7,  8,  9,
+                                       15, 16, 17, 31, 32, 33, 63, 64,
+                                       65, 100, 255, 1000, 4097};
+
+// Monotone integer key over the ordered floats; ULP distance is the key
+// difference. Infinities map like ordinary ordered values.
+int64_t FloatKey(float x) {
+  const uint32_t u = std::bit_cast<uint32_t>(x);
+  return (u & 0x80000000u) ? -static_cast<int64_t>(u & 0x7fffffffu)
+                           : static_cast<int64_t>(u);
+}
+
+int64_t UlpDiff(float a, float b) {
+  return std::llabs(FloatKey(a) - FloatKey(b));
+}
+
+std::vector<float> RandomFloats(int64_t n, Rng* rng, bool with_denormals) {
+  std::vector<float> x(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = static_cast<float>(rng->Normal(0.0, 1.0));
+  }
+  if (with_denormals && n >= 3) {
+    x[0] = kDenorm;
+    x[static_cast<size_t>(n / 2)] = -kDenorm;
+    x[static_cast<size_t>(n - 1)] = -0.0f;
+  }
+  return x;
+}
+
+std::vector<double> RandomDoubles(int64_t n, Rng* rng, double scale = 1.0) {
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng->Normal(0.0, scale);
+  }
+  return x;
+}
+
+bool BestTierIsVector() {
+  return simd::HighestSupportedLevel() != simd::Level::kScalar;
+}
+
+// ---------- dispatch plumbing ----------
+
+TEST(SimdDispatchTest, ScopedForceLevelOverridesAndRestores) {
+  const simd::Level ambient = simd::ActiveLevel();
+  {
+    simd::ScopedForceLevel force(simd::Level::kScalar);
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+    {
+      simd::ScopedForceLevel inner(simd::HighestSupportedLevel());
+      EXPECT_EQ(simd::ActiveLevel(), simd::HighestSupportedLevel());
+    }
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveLevel(), ambient);
+}
+
+TEST(SimdDispatchTest, ForcedScalarTierMatchesReferenceBitForBit) {
+  Rng rng(7);
+  const std::vector<float> a = RandomFloats(257, &rng, true);
+  const std::vector<float> b = RandomFloats(257, &rng, true);
+  simd::ScopedForceLevel force(simd::Level::kScalar);
+  const double dispatched = simd::Dot(a.data(), b.data(), 257);
+  const double reference = simd::scalar::Dot(a.data(), b.data(), 257);
+  EXPECT_EQ(std::bit_cast<uint64_t>(dispatched),
+            std::bit_cast<uint64_t>(reference));
+}
+
+TEST(SimdDispatchTest, LevelNamesAreStable) {
+  EXPECT_STREQ(simd::LevelName(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kAvx2), "avx2");
+}
+
+// ---------- reductions: <= 4 ULP of the float32 result ----------
+
+TEST(KernelEquivalenceTest, DotWithin4UlpAcrossShapes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    for (int64_t n : kLengths) {
+      const std::vector<float> a = RandomFloats(n, &rng, true);
+      const std::vector<float> b = RandomFloats(n, &rng, true);
+      const double ref = simd::scalar::Dot(a.data(), b.data(), n);
+      simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+      const double got = simd::Dot(a.data(), b.data(), n);
+      EXPECT_LE(UlpDiff(static_cast<float>(got), static_cast<float>(ref)), 4)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, SumWithin4UlpAcrossShapes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    for (int64_t n : kLengths) {
+      const std::vector<float> x = RandomFloats(n, &rng, true);
+      const double ref = simd::scalar::Sum(x.data(), n);
+      simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+      const double got = simd::Sum(x.data(), n);
+      EXPECT_LE(UlpDiff(static_cast<float>(got), static_cast<float>(ref)), 4)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+// ---------- elementwise: bit-identical ----------
+
+TEST(KernelEquivalenceTest, AxpyBitIdenticalAcrossShapes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    for (int64_t n : kLengths) {
+      const std::vector<float> x = RandomFloats(n, &rng, true);
+      std::vector<float> y_ref = RandomFloats(n, &rng, true);
+      std::vector<float> y_got = y_ref;
+      const float alpha =
+          seed == 1 ? kDenorm : static_cast<float>(rng.Normal(0.0, 1.0));
+      simd::scalar::Axpy(alpha, x.data(), y_ref.data(), n);
+      simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+      simd::Axpy(alpha, x.data(), y_got.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<uint32_t>(y_got[static_cast<size_t>(i)]),
+                  std::bit_cast<uint32_t>(y_ref[static_cast<size_t>(i)]))
+            << "n=" << n << " i=" << i << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, AddBitIdenticalIncludingInfinities) {
+  Rng rng(11);
+  for (int64_t n : kLengths) {
+    std::vector<float> a = RandomFloats(n, &rng, true);
+    std::vector<float> b = RandomFloats(n, &rng, true);
+    a[0] = kInf;
+    if (n > 1) b[static_cast<size_t>(n - 1)] = -kInf;
+    std::vector<float> ref(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+    simd::scalar::Add(a.data(), b.data(), ref.data(), n);
+    simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+    simd::Add(a.data(), b.data(), got.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(got[static_cast<size_t>(i)]),
+                std::bit_cast<uint32_t>(ref[static_cast<size_t>(i)]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, MulBitIdenticalIncludingDenormalProducts) {
+  Rng rng(12);
+  for (int64_t n : kLengths) {
+    // Denormal x normal products underflow to denormal/zero — the vector
+    // tier must round them identically (no flush-to-zero).
+    const std::vector<float> a = RandomFloats(n, &rng, true);
+    const std::vector<float> b = RandomFloats(n, &rng, true);
+    std::vector<float> ref(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+    simd::scalar::Mul(a.data(), b.data(), ref.data(), n);
+    simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+    simd::Mul(a.data(), b.data(), got.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(got[static_cast<size_t>(i)]),
+                std::bit_cast<uint32_t>(ref[static_cast<size_t>(i)]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ReluBitIdenticalIncludingEdgeValues) {
+  Rng rng(13);
+  for (int64_t n : kLengths) {
+    std::vector<float> x = RandomFloats(n, &rng, true);
+    x[0] = -kInf;
+    if (n > 1) x[1] = kInf;
+    if (n > 2) x[2] = -0.0f;
+    std::vector<float> ref(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+    simd::scalar::Relu(x.data(), ref.data(), n);
+    simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+    simd::Relu(x.data(), got.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(got[static_cast<size_t>(i)]),
+                std::bit_cast<uint32_t>(ref[static_cast<size_t>(i)]))
+          << "n=" << n << " i=" << i;
+    }
+    EXPECT_EQ(ref[0], 0.0f);  // relu(-inf) = 0
+    if (n > 1) {
+      EXPECT_EQ(ref[1], kInf);  // relu(+inf) = +inf
+    }
+    if (n > 2) {  // relu(-0.0) = +0.0
+      EXPECT_EQ(std::bit_cast<uint32_t>(ref[2]), 0u);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, SlidingDotUpdateBitIdenticalAcrossShapes) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 31);
+    for (int64_t n : kLengths) {
+      const std::vector<double> tail = RandomDoubles(n, &rng);
+      const std::vector<double> head = RandomDoubles(n, &rng);
+      const double drop = rng.Normal(0.0, 1.0);
+      const double add = rng.Normal(0.0, 1.0);
+      std::vector<double> qt_ref = RandomDoubles(n, &rng, 10.0);
+      std::vector<double> qt_got = qt_ref;
+      simd::scalar::SlidingDotUpdate(qt_ref.data(), n, drop, tail.data(), add,
+                                     head.data());
+      simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+      simd::SlidingDotUpdate(qt_got.data(), n, drop, tail.data(), add,
+                             head.data());
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<uint64_t>(qt_got[static_cast<size_t>(i)]),
+                  std::bit_cast<uint64_t>(qt_ref[static_cast<size_t>(i)]))
+            << "n=" << n << " i=" << i << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ZNormDistRowBitIdenticalWithFlatGuards) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 17);
+    for (int64_t n : kLengths) {
+      const int64_t m = 8 + static_cast<int64_t>(seed);
+      const std::vector<double> dot = RandomDoubles(n, &rng, 4.0);
+      const std::vector<double> mu = RandomDoubles(n, &rng);
+      std::vector<double> sd(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        sd[static_cast<size_t>(i)] = std::abs(rng.Normal(1.0, 0.5)) + 1e-3;
+      }
+      // Flat windows sprinkled in (including a denormal stddev below the
+      // 1e-12 guard) must hit the max-distance branch in both tiers.
+      sd[0] = 0.0;
+      if (n > 5) sd[5] = 1e-300;
+      std::vector<double> ref(static_cast<size_t>(n)),
+          got(static_cast<size_t>(n));
+      simd::scalar::ZNormDistRow(dot.data(), mu.data(), sd.data(), 0.25, 1.5,
+                                 m, ref.data(), n);
+      simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+      simd::ZNormDistRow(dot.data(), mu.data(), sd.data(), 0.25, 1.5, m,
+                         got.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(std::bit_cast<uint64_t>(got[static_cast<size_t>(i)]),
+                  std::bit_cast<uint64_t>(ref[static_cast<size_t>(i)]))
+            << "n=" << n << " i=" << i << " seed=" << seed;
+      }
+      EXPECT_EQ(ref[0], 2.0 * std::sqrt(static_cast<double>(m)));
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ZNormDistRowFlatQueryMatchesScalar) {
+  Rng rng(99);
+  const int64_t n = 133, m = 16;
+  const std::vector<double> dot = RandomDoubles(n, &rng);
+  const std::vector<double> mu = RandomDoubles(n, &rng);
+  std::vector<double> sd(static_cast<size_t>(n), 1.0);
+  sd[7] = 0.0;  // flat query x flat window -> exactly 0
+  std::vector<double> ref(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+  simd::scalar::ZNormDistRow(dot.data(), mu.data(), sd.data(), 0.5,
+                             /*sd_q=*/0.0, m, ref.data(), n);
+  simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+  simd::ZNormDistRow(dot.data(), mu.data(), sd.data(), 0.5, 0.0, m, got.data(),
+                     n);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(got[static_cast<size_t>(i)]),
+              std::bit_cast<uint64_t>(ref[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(ref[7], 0.0);
+  EXPECT_EQ(ref[0], 2.0 * std::sqrt(16.0));
+}
+
+// ---------- composed kernels: conv / gemm ----------
+
+// Runs fn once under the scalar tier and once under the best tier,
+// returning both outputs.
+template <typename Fn>
+std::pair<std::vector<float>, std::vector<float>> RunBothTiers(int64_t out_size,
+                                                               Fn fn) {
+  std::vector<float> ref(static_cast<size_t>(out_size), 0.0f);
+  std::vector<float> got(static_cast<size_t>(out_size), 0.0f);
+  {
+    simd::ScopedForceLevel force(simd::Level::kScalar);
+    fn(ref.data());
+  }
+  {
+    simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+    fn(got.data());
+  }
+  return {std::move(ref), std::move(got)};
+}
+
+TEST(KernelEquivalenceTest, GemmForwardBitIdentical) {
+  Rng rng(21);
+  for (auto [m, k, n] : {std::tuple<int64_t, int64_t, int64_t>{3, 5, 7},
+                         {8, 32, 32},
+                         {1, 1, 1},
+                         {16, 33, 9}}) {
+    const std::vector<float> a = RandomFloats(m * k, &rng, true);
+    const std::vector<float> b = RandomFloats(k * n, &rng, true);
+    auto [ref, got] = RunBothTiers(m * n, [&](float* c) {
+      nn::kernels::Gemm(a.data(), b.data(), c, m, k, n);
+    });
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(got[i]),
+                std::bit_cast<uint32_t>(ref[i]))
+          << "m=" << m << " k=" << k << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, GemmTransAForwardBitIdentical) {
+  Rng rng(22);
+  const int64_t m = 9, k = 17, n = 33;
+  const std::vector<float> a = RandomFloats(k * m, &rng, true);
+  const std::vector<float> b = RandomFloats(k * n, &rng, true);
+  auto [ref, got] = RunBothTiers(m * n, [&](float* c) {
+    nn::kernels::GemmTransA(a.data(), b.data(), c, m, k, n);
+  });
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint32_t>(got[i]), std::bit_cast<uint32_t>(ref[i]))
+        << i;
+  }
+}
+
+TEST(KernelEquivalenceTest, GemmTransBWithin4Ulp) {
+  Rng rng(23);
+  const int64_t m = 7, n = 129, k = 13;  // n is the reduced dimension
+  const std::vector<float> a = RandomFloats(m * n, &rng, true);
+  const std::vector<float> b = RandomFloats(k * n, &rng, true);
+  auto [ref, got] = RunBothTiers(m * k, [&](float* c) {
+    nn::kernels::GemmTransB(a.data(), b.data(), c, m, n, k);
+  });
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_LE(UlpDiff(got[i], ref[i]), 4) << i;
+  }
+}
+
+TEST(KernelEquivalenceTest, Conv1dForwardAndInputGradBitIdentical) {
+  Rng rng(24);
+  // Encoder-like shape with an unaligned length and a wide dilation.
+  const int64_t B = 2, Cin = 3, Cout = 4, K = 3, dilation = 4;
+  const int64_t Lout = 37, Lpad = Lout + dilation * (K - 1);
+  const std::vector<float> xpad = RandomFloats(B * Cin * Lpad, &rng, true);
+  const std::vector<float> w = RandomFloats(Cout * Cin * K, &rng, true);
+  auto [ref, got] = RunBothTiers(B * Cout * Lout, [&](float* out) {
+    nn::kernels::Conv1dForward(xpad.data(), w.data(), out, B, Cin, Cout, K,
+                               Lpad, Lout, dilation);
+  });
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint32_t>(got[i]), std::bit_cast<uint32_t>(ref[i]))
+        << i;
+  }
+
+  const std::vector<float> g = RandomFloats(B * Cout * Lout, &rng, true);
+  auto [gref, ggot] = RunBothTiers(B * Cin * Lpad, [&](float* gxpad) {
+    nn::kernels::Conv1dBackwardInput(g.data(), w.data(), gxpad, B, Cin, Cout,
+                                     K, Lpad, Lout, dilation);
+  });
+  for (size_t i = 0; i < gref.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint32_t>(ggot[i]),
+              std::bit_cast<uint32_t>(gref[i]))
+        << i;
+  }
+}
+
+TEST(KernelEquivalenceTest, Conv1dWeightAndBiasGradWithin4Ulp) {
+  Rng rng(25);
+  const int64_t B = 2, Cin = 3, Cout = 4, K = 3, dilation = 2;
+  const int64_t Lout = 41, Lpad = Lout + dilation * (K - 1);
+  const std::vector<float> xpad = RandomFloats(B * Cin * Lpad, &rng, true);
+  const std::vector<float> g = RandomFloats(B * Cout * Lout, &rng, true);
+  auto [wref, wgot] = RunBothTiers(Cout * Cin * K, [&](float* gw) {
+    nn::kernels::Conv1dBackwardWeight(g.data(), xpad.data(), gw, B, Cin, Cout,
+                                      K, Lpad, Lout, dilation);
+  });
+  for (size_t i = 0; i < wref.size(); ++i) {
+    EXPECT_LE(UlpDiff(wgot[i], wref[i]), 4) << i;
+  }
+  auto [bref, bgot] = RunBothTiers(Cout, [&](float* gb) {
+    nn::kernels::Conv1dBackwardBias(g.data(), gb, B, Cout, Lout);
+  });
+  for (size_t i = 0; i < bref.size(); ++i) {
+    EXPECT_LE(UlpDiff(bgot[i], bref[i]), 4) << i;
+  }
+}
+
+// On a host without a vector tier every comparison above collapses to
+// scalar-vs-scalar; record that fact so CI logs show what was covered.
+TEST(KernelEquivalenceTest, ReportsCoveredTier) {
+  SCOPED_TRACE(simd::LevelName(simd::HighestSupportedLevel()));
+  if (!BestTierIsVector()) {
+    GTEST_SKIP() << "no vector tier on this host; equivalence is trivial";
+  }
+  EXPECT_EQ(simd::HighestSupportedLevel(), simd::Level::kAvx2);
+}
+
+}  // namespace
+}  // namespace triad

@@ -145,5 +145,78 @@ TEST_P(OpsStressTest, NormalizeReduceGradCheck) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OpsStressTest,
                          ::testing::Range<uint64_t>(1, 13));
 
+// ---------- Conv1d backward at the encoder's exact shapes ----------
+//
+// The TriAD encoder is a stack of dilated residual blocks (kernel_size 3,
+// dilations 1, 2, 4, ..., 2^(depth-1)) whose first block maps 1 -> 32
+// channels and whose later blocks map 32 -> 32 (core/config.h defaults).
+// These grad-checks pin the SIMD-backed Conv1dBackward{Input,Weight,Bias}
+// kernels at exactly those channel counts and a representative spread of
+// the dilations ({1, 4, 32} — smallest, interior, and the depth-6 maximum),
+// with "same" padding as the encoder applies it.
+
+// Grad-checks one encoder-shaped conv: [B, cin, L] (x) [cout, cin, 3] with
+// symmetric same-padding for the given dilation, plus bias.
+void ConvEncoderShapeGradCheck(int64_t cin, int64_t cout, int64_t dilation,
+                               uint64_t seed) {
+  const int64_t kK = 3;
+  const int64_t pad = dilation * (kK - 1) / 2;  // K=3 -> symmetric "same"
+  // L must exceed the receptive field dilation*(K-1) so interior taps see
+  // real (non-pad) data; keep it unaligned to cover SIMD remainder tails.
+  const int64_t L = dilation * (kK - 1) + 9;
+  Rng data_rng(seed);
+  auto small_leaf = [&](std::vector<int64_t> shape) {
+    Tensor t = Tensor::Randn(std::move(shape), &data_rng);
+    t.ScaleInPlace(0.3f);
+    return Var(std::move(t), true);
+  };
+  std::vector<Var> leaves = {small_leaf({2, cin, L}),
+                             small_leaf({cout, cin, kK}),
+                             small_leaf({cout})};
+  // Normalize by the output size: the raw weighted sum over B*Cout*L
+  // elements grows to O(100) at 32 channels, and finite-difference noise
+  // (float32 rounding of the loss divided by the step) grows with it while
+  // the comparison's tolerance floor does not.
+  const float inv_size = 1.0f / static_cast<float>(2 * cout * L);
+  auto fn = [=](const std::vector<Var>& ls) {
+    Var y = Conv1d(ls[0], ls[1], ls[2], dilation, pad, pad);
+    return MulScalar(WeightedSum(Tanh(y)), inv_size);
+  };
+  // Same widened step/floor as the matmul chain above.
+  EXPECT_LT(MaxGradError(fn, leaves, /*step=*/1e-2, /*tol=*/1e-3), 6e-2)
+      << "cin=" << cin << " cout=" << cout << " dilation=" << dilation;
+}
+
+TEST(ConvEncoderGradCheckTest, InputBlockDilation1) {
+  ConvEncoderShapeGradCheck(/*cin=*/1, /*cout=*/32, /*dilation=*/1, 1001);
+}
+
+TEST(ConvEncoderGradCheckTest, HiddenBlockDilation4) {
+  ConvEncoderShapeGradCheck(/*cin=*/32, /*cout=*/32, /*dilation=*/4, 1002);
+}
+
+TEST(ConvEncoderGradCheckTest, DeepestBlockDilation32) {
+  ConvEncoderShapeGradCheck(/*cin=*/32, /*cout=*/32, /*dilation=*/32, 1003);
+}
+
+// The 1-channel residual-projection conv (1x1, dilation 1) the blocks use
+// when channel counts change.
+TEST(ConvEncoderGradCheckTest, PointwiseProjection) {
+  const int64_t L = 23;
+  Rng data_rng(1004);
+  auto small_leaf = [&](std::vector<int64_t> shape) {
+    Tensor t = Tensor::Randn(std::move(shape), &data_rng);
+    t.ScaleInPlace(0.3f);
+    return Var(std::move(t), true);
+  };
+  std::vector<Var> leaves = {small_leaf({2, 1, L}), small_leaf({32, 1, 1})};
+  const float inv_size = 1.0f / static_cast<float>(2 * 32 * L);
+  auto fn = [=](const std::vector<Var>& ls) {
+    Var y = Conv1d(ls[0], ls[1], Var(), /*dilation=*/1, 0, 0);
+    return MulScalar(WeightedSum(Tanh(y)), inv_size);
+  };
+  EXPECT_LT(MaxGradError(fn, leaves, /*step=*/1e-2, /*tol=*/1e-3), 6e-2);
+}
+
 }  // namespace
 }  // namespace triad::nn

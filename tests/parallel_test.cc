@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -220,6 +223,82 @@ TEST(ParallelMapReduceTest, EmptyRangeReturnsInit) {
       int64_t{3}, int64_t{3}, 1, 99, [](int64_t, int64_t) { return 0; },
       [](int a, int b) { return a + b; });
   EXPECT_EQ(v, 99);
+}
+
+// ---------- grain clamping (regression) ----------
+//
+// `end - begin + grain - 1` used to overflow for huge grains, wrapping the
+// chunk count negative and silently skipping the whole range. The grain is
+// now clamped to [1, end - begin] before any chunk arithmetic.
+
+TEST(ParallelGrainTest, EffectiveGrainClampsToRange) {
+  EXPECT_EQ(ParallelEffectiveGrain(0, 10, 3), 3);        // in range: kept
+  EXPECT_EQ(ParallelEffectiveGrain(0, 10, 10), 10);      // exact: kept
+  EXPECT_EQ(ParallelEffectiveGrain(0, 10, 11), 10);      // above: one chunk
+  EXPECT_EQ(ParallelEffectiveGrain(0, 10, 0), 1);        // nonpositive: 1
+  EXPECT_EQ(ParallelEffectiveGrain(0, 10, -5), 1);
+  EXPECT_EQ(ParallelEffectiveGrain(0, 10, INT64_MAX), 10);
+  // Degenerate range still yields a valid (unused) grain.
+  EXPECT_EQ(ParallelEffectiveGrain(5, 5, INT64_MAX), 1);
+}
+
+TEST(ParallelGrainTest, ChunkCountIsExactForAnyGrain) {
+  EXPECT_EQ(ParallelChunkCount(0, 100, 1), 100);
+  EXPECT_EQ(ParallelChunkCount(0, 100, 33), 4);   // 33+33+33+1
+  EXPECT_EQ(ParallelChunkCount(0, 100, 100), 1);
+  EXPECT_EQ(ParallelChunkCount(0, 100, 101), 1);  // grain > range: one chunk
+  EXPECT_EQ(ParallelChunkCount(0, 100, INT64_MAX), 1);
+  EXPECT_EQ(ParallelChunkCount(7, 7, INT64_MAX), 0);
+}
+
+TEST(ParallelGrainTest, HugeGrainProcessesWholeRange) {
+  // The regression: with grain INT64_MAX the overflow made ParallelFor a
+  // no-op. Every index must be visited exactly once.
+  ThreadPool pool(4);
+  for (int64_t grain : {INT64_MAX, INT64_MAX - 1, int64_t{1} << 62}) {
+    std::vector<std::atomic<int>> hits(100);
+    ParallelFor(
+        0, 100, grain,
+        [&](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+        },
+        &pool);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ParallelGrainTest, HugeGrainMapReduceCoversWholeRange) {
+  ThreadPool pool(4);
+  const std::vector<double> x = RandomDoubles(1000, 7);
+  const double expected = MapReduceSum(x, /*grain=*/1000, &pool);
+  // Used to return init (0.0) because the range was silently skipped.
+  EXPECT_EQ(MapReduceSum(x, INT64_MAX, &pool), expected);
+  // Nonpositive grains clamp to 1 and still cover everything (bit-identity
+  // with grain 1 follows from the deterministic chunk decomposition).
+  EXPECT_EQ(MapReduceSum(x, 0, &pool), MapReduceSum(x, 1, &pool));
+  EXPECT_EQ(MapReduceSum(x, -3, &pool), MapReduceSum(x, 1, &pool));
+}
+
+TEST(ParallelGrainTest, RangeJustAboveGrainMultipleGetsShortTail) {
+  // 65 indices at grain 8 -> 9 chunks, the last of size 1; boundaries are
+  // exact multiples of the grain.
+  ThreadPool pool(4);
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  std::mutex mu;
+  ParallelFor(
+      0, 65, 8,
+      [&](int64_t b, int64_t e) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(b, e);
+      },
+      &pool);
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 9u);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, static_cast<int64_t>(c) * 8);
+    EXPECT_EQ(chunks[c].second,
+              std::min<int64_t>(65, static_cast<int64_t>(c + 1) * 8));
+  }
 }
 
 // ---------- end-to-end determinism: 1 thread vs 4 threads ----------
