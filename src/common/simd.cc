@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/env.h"
 
@@ -82,11 +83,15 @@ void ZNormDistRow(const double* dot, const double* mu, const double* sd,
                   double mu_q, double sd_q, int64_t m, double* out,
                   int64_t n) {
   const double dm = static_cast<double>(m);
-  const double max_dist = 2.0 * std::sqrt(dm);
+  // Zero-variance guard: a flat window has no z-normalized shape, so its
+  // distance to any non-flat subsequence is +inf — a sentinel every
+  // downstream consumer (discord ranking, matrix-profile argmin) excludes
+  // via isfinite, so constant segments cannot poison the profile.
+  const double flat_dist = std::numeric_limits<double>::infinity();
   const double two_m = 2.0 * dm;
   if (sd_q < 1e-12) {  // flat query: distance depends only on window flatness
     for (int64_t j = 0; j < n; ++j) {
-      out[j] = sd[j] < 1e-12 ? 0.0 : max_dist;
+      out[j] = sd[j] < 1e-12 ? 0.0 : flat_dist;
     }
     return;
   }
@@ -94,7 +99,7 @@ void ZNormDistRow(const double* dot, const double* mu, const double* sd,
   const double c2 = dm * sd_q;
   for (int64_t j = 0; j < n; ++j) {
     if (sd[j] < 1e-12) {
-      out[j] = max_dist;
+      out[j] = flat_dist;
       continue;
     }
     const double corr = (dot[j] - c1 * mu[j]) / (c2 * sd[j]);
@@ -299,7 +304,6 @@ TRIAD_TARGET_AVX2 void ZNormDistRow(const double* dot, const double* mu,
                                     const double* sd, double mu_q, double sd_q,
                                     int64_t m, double* out, int64_t n) {
   const double dm = static_cast<double>(m);
-  const double max_dist = 2.0 * std::sqrt(dm);
   if (sd_q < 1e-12) {
     scalar::ZNormDistRow(dot, mu, sd, mu_q, sd_q, m, out, n);
     return;
@@ -311,7 +315,9 @@ TRIAD_TARGET_AVX2 void ZNormDistRow(const double* dot, const double* mu,
   const __m256d neg_one = _mm256_set1_pd(-1.0);
   const __m256d zero = _mm256_setzero_pd();
   const __m256d flat_eps = _mm256_set1_pd(1e-12);
-  const __m256d max_dist_v = _mm256_set1_pd(max_dist);
+  // Flat windows get +inf, matching the scalar kernel bit-for-bit.
+  const __m256d flat_dist_v =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
   int64_t j = 0;
   for (; j + 4 <= n; j += 4) {
     const __m256d sdv = _mm256_loadu_pd(sd + j);
@@ -326,7 +332,7 @@ TRIAD_TARGET_AVX2 void ZNormDistRow(const double* dot, const double* mu,
     const __m256d dist = _mm256_sqrt_pd(_mm256_max_pd(
         zero, _mm256_mul_pd(two_m, _mm256_sub_pd(one, clamped))));
     const __m256d flat = _mm256_cmp_pd(sdv, flat_eps, _CMP_LT_OQ);
-    _mm256_storeu_pd(out + j, _mm256_blendv_pd(dist, max_dist_v, flat));
+    _mm256_storeu_pd(out + j, _mm256_blendv_pd(dist, flat_dist_v, flat));
   }
   if (j < n) {
     scalar::ZNormDistRow(dot + j, mu + j, sd + j, mu_q, sd_q, m, out + j,

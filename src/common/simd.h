@@ -126,8 +126,9 @@ void ConvRowAccum(const float* x, int64_t xstride, const float* w,
 ///   corr[j] = (dot[j] - (m*mu_q)*mu[j]) / ((m*sd_q)*sd[j])
 ///   out[j]  = sqrt(max(0, 2m * (1 - clamp(corr[j], -1, 1))))
 ///
-/// Flat guards: any stddev < 1e-12 yields the max distance 2*sqrt(m), or 0
-/// when both sides are flat. Division and sqrt are correctly rounded IEEE
+/// Flat guards: any stddev < 1e-12 yields +inf (the pair has no defined
+/// z-normalized distance; downstream consumers exclude it via isfinite), or
+/// 0 when both sides are flat. Division and sqrt are correctly rounded IEEE
 /// ops, so vector tiers are bit-identical to the scalar reference.
 void ZNormDistRow(const double* dot, const double* mu, const double* sd,
                   double mu_q, double sd_q, int64_t m, double* out, int64_t n);

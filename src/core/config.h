@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/voting.h"
+#include "data/sanitize.h"
 
 namespace triad::core {
 
@@ -53,6 +54,20 @@ struct TriadConfig {
   /// Vote weighting and thresholding (paper defaults; see voting.h for the
   /// Section III-D3 "enhanced scoring" extensions).
   VotingOptions voting;
+
+  // --- dirty-data hardening (ARCHITECTURE.md §5) ---
+  /// Input sanitization applied by Fit/Detect before anything touches the
+  /// series: short NaN/Inf gaps are interpolated, scale glitches clamped,
+  /// series damaged beyond the thresholds rejected with InvalidArgument.
+  data::SanitizeOptions sanitize;
+  /// Period used when the estimator's confidence falls below
+  /// `min_period_confidence`. 0 = auto: train_length / 20, clamped to
+  /// [2, train_length / 3].
+  int64_t fallback_period = 0;
+  /// Minimum ACF confidence (see signal::PeriodEstimate) for trusting the
+  /// estimated period; below it the detector degrades to `fallback_period`
+  /// and flags DetectionResult::period_fallback.
+  double min_period_confidence = 0.1;
 
   /// Number of enabled domains.
   int EnabledDomains() const {

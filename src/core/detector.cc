@@ -13,6 +13,7 @@
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/features.h"
+#include "data/sanitize.h"
 #include "discord/mass.h"
 #include "nn/serialize.h"
 #include "signal/decompose.h"
@@ -25,15 +26,40 @@ namespace {
 // Windows shorter than this have too little structure for the FFT features.
 constexpr int64_t kMinWindowLength = 16;
 
-// Rejects NaN/Inf inputs up front; they would otherwise silently poison the
-// FFTs, the z-normalizations and the training loss.
-Status ValidateFinite(const std::vector<double>& series, const char* what) {
-  for (size_t i = 0; i < series.size(); ++i) {
-    if (!std::isfinite(series[i])) {
-      std::ostringstream os;
-      os << what << " contains a non-finite value at index " << i;
-      return Status::InvalidArgument(os.str());
-    }
+// Severely corrupted inputs (a non-finite value the sanitizer could not
+// interpolate, damage above the configured thresholds) would silently poison
+// the FFTs, the z-normalizations and the training loss, so Fit/Detect run
+// every series through data::SanitizeSeries first and propagate its
+// InvalidArgument instead of crashing (ARCHITECTURE.md §5).
+
+// User-supplied tunables get a Status here instead of tripping the model
+// constructor's TRIAD_CHECKs (those stay for actual programming errors).
+Status ValidateConfig(const TriadConfig& c) {
+  if (c.depth < 1) return Status::InvalidArgument("depth must be >= 1");
+  if (c.hidden_dim < 1) {
+    return Status::InvalidArgument("hidden_dim must be >= 1");
+  }
+  if (c.kernel_size < 1) {
+    return Status::InvalidArgument("kernel_size must be >= 1");
+  }
+  if (c.stride_divisor < 1) {
+    return Status::InvalidArgument("stride_divisor must be >= 1");
+  }
+  if (!(c.periods_per_window > 0.0)) {
+    return Status::InvalidArgument("periods_per_window must be > 0");
+  }
+  if (!(c.temperature > 0.0)) {
+    return Status::InvalidArgument("temperature must be > 0");
+  }
+  if (!(c.learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning_rate must be > 0");
+  }
+  if (c.epochs < 0) return Status::InvalidArgument("epochs must be >= 0");
+  if (c.validation_fraction < 0.0 || c.validation_fraction >= 1.0) {
+    return Status::InvalidArgument("validation_fraction must be in [0, 1)");
+  }
+  if (c.EnabledDomains() == 0) {
+    return Status::InvalidArgument("at least one domain must be enabled");
   }
   return Status::OK();
 }
@@ -86,21 +112,57 @@ bool WindowOverlapsRange(int64_t start, int64_t length, int64_t begin,
 TriadDetector::TriadDetector(TriadConfig config) : config_(config) {}
 
 Status TriadDetector::Fit(const std::vector<double>& train_series) {
+  TRIAD_RETURN_NOT_OK(ValidateConfig(config_));
   if (static_cast<int64_t>(train_series.size()) < 4 * kMinWindowLength) {
     return Status::InvalidArgument("training series too short");
   }
-  TRIAD_RETURN_NOT_OK(ValidateFinite(train_series, "training series"));
-  train_series_ = train_series;
-  period_ = config_.use_welch_period_estimator
-                ? signal::EstimatePeriodWelch(train_series)
-                : signal::EstimatePeriod(train_series);
+  TRIAD_ASSIGN_OR_RETURN(
+      data::Sanitized clean,
+      data::SanitizeSeries(train_series, config_.sanitize));
+  train_report_ = clean.report;
+  train_series_ = std::move(clean.series);
+  const int64_t n = static_cast<int64_t>(train_series_.size());
+
+  // Degradation ladder, rung 1: trust the period estimate only when the
+  // training data actually supports it; otherwise segment on the configured
+  // fallback so noisy/aperiodic series degrade instead of crashing.
+  const int64_t estimated = config_.use_welch_period_estimator
+                                ? signal::EstimatePeriodWelch(train_series_)
+                                : signal::EstimatePeriod(train_series_);
+  period_confidence_ = signal::PeriodAcfConfidence(train_series_, estimated);
+  period_fallback_ = period_confidence_ < config_.min_period_confidence;
+  if (period_fallback_) {
+    const int64_t fb =
+        config_.fallback_period > 0 ? config_.fallback_period : n / 20;
+    period_ = std::clamp<int64_t>(fb, 2, std::max<int64_t>(2, n / 3));
+  } else {
+    period_ = estimated;
+  }
   window_length_ = std::max<int64_t>(
       kMinWindowLength,
       static_cast<int64_t>(std::llround(config_.periods_per_window *
                                         static_cast<double>(period_))));
-  window_length_ =
-      std::min(window_length_, static_cast<int64_t>(train_series.size()) / 2);
+  window_length_ = std::min(window_length_, n / 2);
   stride_ = std::max<int64_t>(1, window_length_ / config_.stride_divisor);
+
+  // Rung 2: a degenerate decomposition (residual with ~no variance, e.g. a
+  // pure tone or heavily repaired data) would feed the residual encoder a
+  // zero channel; drop the domain and keep the other two instead.
+  residual_disabled_ = false;
+  if (config_.use_residual) {
+    const std::vector<double> residual =
+        signal::ResidualComponent(train_series_, period_);
+    const double residual_sd = StdDev(residual);
+    if (!std::isfinite(residual_sd) ||
+        residual_sd < 1e-9 * std::max(1.0, StdDev(train_series_))) {
+      config_.use_residual = false;
+      residual_disabled_ = true;
+    }
+  }
+  if (config_.EnabledDomains() == 0) {
+    return Status::InvalidArgument(
+        "no enabled domains remain after degradation");
+  }
 
   const std::vector<std::vector<double>> windows =
       SliceWindows(train_series_, window_length_, stride_);
@@ -149,9 +211,15 @@ Result<DetectionResult> TriadDetector::Detect(
   if (n < window_length_) {
     return Status::InvalidArgument("test series shorter than one window");
   }
-  TRIAD_RETURN_NOT_OK(ValidateFinite(test_series, "test series"));
+  TRIAD_ASSIGN_OR_RETURN(
+      data::Sanitized clean,
+      data::SanitizeSeries(test_series, config_.sanitize));
+  const std::vector<double>& series = clean.series;
 
   DetectionResult result;
+  result.sanitize_report = std::move(clean.report);
+  result.period_fallback = period_fallback_;
+  result.residual_domain_disabled = residual_disabled_;
   result.window_length = window_length_;
   result.stride = stride_;
   result.window_starts = signal::SlidingWindowStarts(n, window_length_, stride_);
@@ -160,7 +228,7 @@ Result<DetectionResult> TriadDetector::Detect(
   std::vector<std::vector<double>> windows;
   windows.reserve(static_cast<size_t>(M));
   for (int64_t s : result.window_starts) {
-    windows.push_back(signal::ExtractWindow(test_series, s, window_length_));
+    windows.push_back(signal::ExtractWindow(series, s, window_length_));
   }
 
   // ---- stage 1: encode + tri-window nomination ----
@@ -226,8 +294,8 @@ Result<DetectionResult> TriadDetector::Detect(
   result.search_begin = std::max<int64_t>(0, w_start - pad);
   result.search_end = std::min(n, w_start + window_length_ + pad);
   const std::vector<double> region(
-      test_series.begin() + result.search_begin,
-      test_series.begin() + result.search_end);
+      series.begin() + result.search_begin,
+      series.begin() + result.search_end);
   const int64_t region_len = result.search_end - result.search_begin;
   const int64_t max_len = std::min<int64_t>(
       region_len / 2 - 1,
@@ -266,8 +334,15 @@ Result<DetectionResult> TriadDetector::DetectEvents(
   if (n < window_length_) {
     return Status::InvalidArgument("test series shorter than one window");
   }
+  TRIAD_ASSIGN_OR_RETURN(
+      data::Sanitized clean,
+      data::SanitizeSeries(test_series, config_.sanitize));
+  const std::vector<double>& series = clean.series;
 
   DetectionResult result;
+  result.sanitize_report = std::move(clean.report);
+  result.period_fallback = period_fallback_;
+  result.residual_domain_disabled = residual_disabled_;
   result.window_length = window_length_;
   result.stride = stride_;
   result.window_starts =
@@ -277,7 +352,7 @@ Result<DetectionResult> TriadDetector::DetectEvents(
   std::vector<std::vector<double>> windows;
   windows.reserve(static_cast<size_t>(M));
   for (int64_t s : result.window_starts) {
-    windows.push_back(signal::ExtractWindow(test_series, s, window_length_));
+    windows.push_back(signal::ExtractWindow(series, s, window_length_));
   }
 
   // Encode + per-domain similarity ranking; each domain nominates its
@@ -360,8 +435,8 @@ Result<DetectionResult> TriadDetector::DetectEvents(
       result.search_begin = begin;
       result.search_end = end;
     }
-    const std::vector<double> region(test_series.begin() + begin,
-                                     test_series.begin() + end);
+    const std::vector<double> region(series.begin() + begin,
+                                     series.begin() + end);
     const int64_t region_len = end - begin;
     const int64_t max_len = std::min<int64_t>(
         region_len / 2 - 1,
@@ -391,7 +466,10 @@ Result<DetectionResult> TriadDetector::DetectEvents(
 namespace {
 
 constexpr char kCheckpointMagic[4] = {'T', 'R', 'D', 'T'};
-constexpr uint32_t kCheckpointVersion = 1;
+// Version 2 added the sanitize options, period-fallback config and the
+// graceful-degradation state (ARCHITECTURE.md §5); version-1 checkpoints
+// still load with the defaults for those fields.
+constexpr uint32_t kCheckpointVersion = 2;
 
 template <typename T>
 void WritePod(std::ostream& out, T value) {
@@ -431,9 +509,19 @@ void WriteConfig(std::ostream& out, const TriadConfig& c) {
   WritePod(out, static_cast<uint8_t>(c.voting.threshold_rule));
   WritePod(out, c.voting.threshold_quantile);
   WritePod(out, static_cast<uint8_t>(c.use_welch_period_estimator));
+  // version >= 2
+  WritePod(out, c.sanitize.min_length);
+  WritePod(out, c.sanitize.max_interpolate_gap);
+  WritePod(out, c.sanitize.stuck_run_length);
+  WritePod(out, c.sanitize.max_stuck_fraction);
+  WritePod(out, c.sanitize.glitch_sigmas);
+  WritePod(out, c.sanitize.max_damage_fraction);
+  WritePod(out, static_cast<uint8_t>(c.sanitize.repair));
+  WritePod(out, c.fallback_period);
+  WritePod(out, c.min_period_confidence);
 }
 
-bool ReadConfig(std::istream& in, TriadConfig* c) {
+bool ReadConfig(std::istream& in, uint32_t version, TriadConfig* c) {
   uint8_t b1, b2, b3, b4, b5;
   const bool ok =
       ReadPod(in, &c->periods_per_window) && ReadPod(in, &c->stride_divisor) &&
@@ -464,6 +552,20 @@ bool ReadConfig(std::istream& in, TriadConfig* c) {
   c->voting.weighting = static_cast<VoteWeighting>(weighting);
   c->voting.threshold_rule = static_cast<ThresholdRule>(rule);
   c->use_welch_period_estimator = welch != 0;
+  if (version >= 2) {
+    uint8_t repair;
+    if (!ReadPod(in, &c->sanitize.min_length) ||
+        !ReadPod(in, &c->sanitize.max_interpolate_gap) ||
+        !ReadPod(in, &c->sanitize.stuck_run_length) ||
+        !ReadPod(in, &c->sanitize.max_stuck_fraction) ||
+        !ReadPod(in, &c->sanitize.glitch_sigmas) ||
+        !ReadPod(in, &c->sanitize.max_damage_fraction) ||
+        !ReadPod(in, &repair) || !ReadPod(in, &c->fallback_period) ||
+        !ReadPod(in, &c->min_period_confidence)) {
+      return false;
+    }
+    c->sanitize.repair = repair != 0;
+  }
   return true;
 }
 
@@ -481,6 +583,9 @@ Status TriadDetector::Save(const std::string& path) const {
   WritePod(out, period_);
   WritePod(out, window_length_);
   WritePod(out, stride_);
+  WritePod(out, period_confidence_);
+  WritePod(out, static_cast<uint8_t>(period_fallback_));
+  WritePod(out, static_cast<uint8_t>(residual_disabled_));
   WritePod(out, static_cast<uint64_t>(train_series_.size()));
   out.write(reinterpret_cast<const char*>(train_series_.data()),
             static_cast<std::streamsize>(train_series_.size() *
@@ -501,19 +606,30 @@ Result<TriadDetector> TriadDetector::Load(const std::string& path) {
     return Status::InvalidArgument("not a TriAD checkpoint: " + path);
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kCheckpointVersion) {
+  if (!ReadPod(in, &version) || version < 1 || version > kCheckpointVersion) {
     return Status::InvalidArgument("unsupported checkpoint version");
   }
   TriadConfig config;
-  if (!ReadConfig(in, &config)) {
+  if (!ReadConfig(in, version, &config)) {
     return Status::InvalidArgument("corrupt checkpoint config");
   }
   TriadDetector detector(config);
   uint64_t train_size = 0;
   if (!ReadPod(in, &detector.period_) ||
       !ReadPod(in, &detector.window_length_) ||
-      !ReadPod(in, &detector.stride_) || !ReadPod(in, &train_size) ||
-      train_size > (1ull << 32)) {
+      !ReadPod(in, &detector.stride_)) {
+    return Status::InvalidArgument("corrupt checkpoint header");
+  }
+  if (version >= 2) {
+    uint8_t fallback, residual_off;
+    if (!ReadPod(in, &detector.period_confidence_) ||
+        !ReadPod(in, &fallback) || !ReadPod(in, &residual_off)) {
+      return Status::InvalidArgument("corrupt checkpoint header");
+    }
+    detector.period_fallback_ = fallback != 0;
+    detector.residual_disabled_ = residual_off != 0;
+  }
+  if (!ReadPod(in, &train_size) || train_size > (1ull << 32)) {
     return Status::InvalidArgument("corrupt checkpoint header");
   }
   detector.train_series_.resize(static_cast<size_t>(train_size));

@@ -11,6 +11,7 @@
 #include "core/config.h"
 #include "core/model.h"
 #include "core/trainer.h"
+#include "data/sanitize.h"
 #include "discord/discord.h"
 
 namespace triad::core {
@@ -42,6 +43,18 @@ struct DetectionResult {
   double vote_threshold = 0.0;
   /// Whether the Fig. 15 exception (discords missed the window) fired.
   bool exception_applied = false;
+
+  // --- graceful-degradation flags (ARCHITECTURE.md §5) ---
+  /// What the sanitizer found (and repaired) in the test series before the
+  /// pipeline ran. `sanitize_report.clean()` means the input was pristine.
+  data::SanitizeReport sanitize_report;
+  /// True when the period estimate's confidence was below
+  /// TriadConfig::min_period_confidence and the configured fallback period
+  /// drove the segmentation instead (set at Fit time, echoed per result).
+  bool period_fallback = false;
+  /// True when the residual domain was disabled at Fit time because the
+  /// decomposition produced a degenerate residual.
+  bool residual_domain_disabled = false;
 
   // --- stage timings in seconds (Section III-E, Table IV) ---
   double encode_seconds = 0.0;
@@ -104,6 +117,19 @@ class TriadDetector {
   const TriadModel& model() const { return *model_; }
   const TriadConfig& config() const { return config_; }
 
+  // --- graceful-degradation state established by Fit (ARCHITECTURE.md §5) ---
+  /// ACF confidence of the estimated period (1.0 before Fit / after Load of
+  /// a pre-confidence checkpoint).
+  double period_confidence() const { return period_confidence_; }
+  /// True when Fit segmented on the fallback period instead of the estimate.
+  bool period_fallback() const { return period_fallback_; }
+  /// True when Fit disabled the residual domain (degenerate decomposition).
+  bool residual_domain_disabled() const { return residual_disabled_; }
+  /// Sanitizer findings on the training series.
+  const data::SanitizeReport& train_sanitize_report() const {
+    return train_report_;
+  }
+
  private:
   /// Normalized representations of the given raw windows for one domain,
   /// encoded in mini-batches; rows are unit vectors of length L.
@@ -117,6 +143,10 @@ class TriadDetector {
   int64_t period_ = 0;
   int64_t window_length_ = 0;
   int64_t stride_ = 0;
+  double period_confidence_ = 1.0;
+  bool period_fallback_ = false;
+  bool residual_disabled_ = false;
+  data::SanitizeReport train_report_;
 };
 
 /// True when window [start, start + length) overlaps [begin, end).

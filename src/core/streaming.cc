@@ -9,14 +9,15 @@ namespace triad::core {
 StreamingTriad::StreamingTriad(const TriadDetector* detector,
                                StreamingOptions options)
     : detector_(detector) {
-  TRIAD_CHECK(detector != nullptr);
-  TRIAD_CHECK_GT(detector->window_length(), 0);
-  buffer_length_ = options.buffer_length > 0
-                       ? options.buffer_length
-                       : 4 * detector->window_length();
-  buffer_length_ = std::max(buffer_length_, detector->window_length());
-  hop_ = options.hop > 0 ? options.hop : detector->stride();
-  TRIAD_CHECK_GE(hop_, 1);
+  TRIAD_CHECK(detector != nullptr);  // null detector stays a programming error
+  // An unfitted detector (window_length 0) is tolerated here — the first
+  // Append pass surfaces it as FailedPrecondition instead of crashing.
+  const int64_t wl = std::max<int64_t>(1, detector->window_length());
+  buffer_length_ =
+      options.buffer_length > 0 ? options.buffer_length : 4 * wl;
+  buffer_length_ = std::max(buffer_length_, wl);
+  hop_ = options.hop > 0 ? options.hop
+                         : std::max<int64_t>(1, detector->stride());
   buffer_.reserve(static_cast<size_t>(buffer_length_));
 }
 
@@ -39,8 +40,26 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
     if (!buffer_full || since_last_pass_ < hop_) continue;
     since_last_pass_ = 0;
 
-    TRIAD_ASSIGN_OR_RETURN(DetectionResult result,
-                           detector_->Detect(buffer_));
+    Result<DetectionResult> pass = detector_->Detect(buffer_);
+    if (!pass.ok()) {
+      // Unusable buffer (sanitize rejection): record the unscored span and
+      // keep ingesting — the monitor must survive a burst of bad telemetry.
+      // A FailedPrecondition means the detector itself is unusable; that
+      // one is the caller's bug and does propagate.
+      if (pass.status().code() == StatusCode::kFailedPrecondition) {
+        return pass.status();
+      }
+      ++failed_passes_;
+      const int64_t gap_end =
+          buffer_global_start_ + static_cast<int64_t>(buffer_.size());
+      if (!gaps_.empty() && buffer_global_start_ <= gaps_.back().end) {
+        gaps_.back().end = std::max(gaps_.back().end, gap_end);
+      } else {
+        gaps_.push_back({buffer_global_start_, gap_end});
+      }
+      continue;
+    }
+    DetectionResult result = std::move(pass).value();
     ++passes_;
 
     // Merge flagged points into the global timeline; collect spans that

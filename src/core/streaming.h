@@ -15,6 +15,15 @@ struct AlarmEvent {
   int64_t end = 0;    ///< exclusive
 };
 
+/// \brief A span of the stream no inference pass could score — the buffered
+/// data was too corrupted for Detect (sanitize rejection). The timeline
+/// stays 0 over a gap; consumers that must fail closed should treat gap
+/// spans as unknown rather than nominal. See ARCHITECTURE.md §5.
+struct TimelineGap {
+  int64_t begin = 0;  ///< inclusive
+  int64_t end = 0;    ///< exclusive
+};
+
 /// \brief Options for StreamingTriad.
 struct StreamingOptions {
   /// Points scored per inference pass; 0 = 4 windows of the detector.
@@ -39,6 +48,13 @@ class StreamingTriad {
   /// Feeds points into the stream. Runs zero or more inference passes and
   /// returns alarm events that became active during this call (merged,
   /// global coordinates).
+  ///
+  /// A pass whose buffered data Detect rejects (e.g. corruption beyond the
+  /// sanitizer's repair thresholds) does NOT fail the stream: the span the
+  /// pass would have scored is recorded in gaps(), failed_passes() is
+  /// incremented, and ingestion continues — a burst of bad telemetry must
+  /// not wedge a long-lived monitor. Only a FailedPrecondition (unfitted
+  /// detector) propagates as an error.
   Result<std::vector<AlarmEvent>> Append(const std::vector<double>& points);
 
   /// The global 0/1 alarm timeline over everything appended so far.
@@ -47,8 +63,14 @@ class StreamingTriad {
   /// Total points consumed.
   int64_t total_points() const { return total_points_; }
 
-  /// Number of inference passes executed.
+  /// Number of inference passes executed (successful ones).
   int64_t passes() const { return passes_; }
+
+  /// Spans of the stream no pass could score, merged and ordered.
+  const std::vector<TimelineGap>& gaps() const { return gaps_; }
+
+  /// Number of passes whose buffer Detect rejected.
+  int64_t failed_passes() const { return failed_passes_; }
 
   int64_t buffer_length() const { return buffer_length_; }
   int64_t hop() const { return hop_; }
@@ -62,7 +84,9 @@ class StreamingTriad {
   int64_t since_last_pass_ = 0;
   int64_t total_points_ = 0;
   int64_t passes_ = 0;
+  int64_t failed_passes_ = 0;
   std::vector<int> alarms_;
+  std::vector<TimelineGap> gaps_;
 };
 
 }  // namespace triad::core

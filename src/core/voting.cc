@@ -11,8 +11,8 @@ namespace triad::core {
 VotingResult RunVoting(int64_t n, const std::vector<WindowVote>& windows,
                        const std::vector<discord::Discord>& discords,
                        const VotingOptions& options) {
-  TRIAD_CHECK_GE(n, 1);
   VotingResult result;
+  if (n <= 0) return result;  // empty series: empty votes, no predictions
   result.votes.assign(static_cast<size_t>(n), 0.0);
 
   for (const WindowVote& w : windows) {
@@ -49,8 +49,14 @@ VotingResult RunVoting(int64_t n, const std::vector<WindowVote>& windows,
     if (v > 0.0) nonzero.push_back(v);
   }
   if (nonzero.empty()) {
+    // No evidence at all (no in-range window votes, no discords): an empty
+    // prediction, with no exception-rule rescue — the exception trusts a
+    // nominated window over silent discords, not the absence of evidence.
     result.threshold = 0.0;
-  } else if (options.threshold_rule == ThresholdRule::kMeanNonzero) {
+    result.predictions.assign(static_cast<size_t>(n), 0);
+    return result;
+  }
+  if (options.threshold_rule == ThresholdRule::kMeanNonzero) {
     result.threshold = Mean(nonzero);
   } else {
     result.threshold = Quantile(nonzero, options.threshold_quantile);

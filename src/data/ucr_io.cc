@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -25,12 +26,20 @@ std::vector<std::string> SplitUnderscore(const std::string& s) {
   return parts;
 }
 
+// Non-negative decimal parse with explicit overflow detection; std::stoll
+// would throw std::out_of_range on absurdly long digit strings, turning a
+// malformed file name into a crash instead of an InvalidArgument.
 bool ParseInt(const std::string& s, int64_t* out) {
   if (s.empty()) return false;
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  int64_t value = 0;
   for (char c : s) {
     if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    const int64_t digit = c - '0';
+    if (value > (kMax - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
   }
-  *out = std::stoll(s);
+  *out = value;
   return true;
 }
 

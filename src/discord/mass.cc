@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -74,10 +75,14 @@ std::vector<double> MassDistanceProfile(const std::vector<double>& series,
 double ZNormDistanceEarlyAbandon(const double* a, double mean_a, double std_a,
                                  const double* b, double mean_b, double std_b,
                                  int64_t m, double best_so_far) {
-  const double max_dist = 2.0 * std::sqrt(static_cast<double>(m));
+  // Flat-vs-non-flat pairs have no defined z-normalized distance; +inf makes
+  // downstream isfinite checks exclude them (matches simd::ZNormDistRow).
   const bool a_flat = std_a < 1e-12;
   const bool b_flat = std_b < 1e-12;
-  if (a_flat || b_flat) return (a_flat && b_flat) ? 0.0 : max_dist;
+  if (a_flat || b_flat) {
+    return (a_flat && b_flat) ? 0.0
+                              : std::numeric_limits<double>::infinity();
+  }
 
   const double threshold = best_so_far * best_so_far;
   const double inv_a = 1.0 / std_a;

@@ -21,9 +21,10 @@ RollingStats ComputeRollingStats(const std::vector<double>& series,
 ///
 /// Returns the z-normalized Euclidean distance between `query` (length m)
 /// and every length-m subsequence of `series`, in O(n log n) via one FFT
-/// convolution. Flat windows (stddev 0) get the maximal distance 2*sqrt(m)
-/// unless the query is also flat (distance 0), matching the discord
-/// literature's convention.
+/// convolution. Flat windows (stddev 0) get distance +inf unless the query
+/// is also flat (distance 0); +inf marks the pair as incomparable and every
+/// downstream consumer (discord ranking, profile argmins) excludes it via
+/// isfinite, so constant segments cannot masquerade as discords.
 std::vector<double> MassDistanceProfile(const std::vector<double>& series,
                                         const std::vector<double>& query);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "signal/decompose.h"
 #include "signal/fft.h"
 
 namespace triad::signal {
@@ -110,6 +111,26 @@ int64_t EstimatePeriodWelch(const std::vector<double>& x, int64_t min_period,
       static_cast<int64_t>(std::llround(static_cast<double>(segment) /
                                         static_cast<double>(best_bin))),
       min_period, max_period);
+}
+
+double PeriodAcfConfidence(const std::vector<double>& x, int64_t period) {
+  const int64_t n = static_cast<int64_t>(x.size());
+  if (period < 2 || n < 2 * period) return 0.0;
+  const std::vector<double> acf = Autocorrelation(x, period);
+  const double value = acf[static_cast<size_t>(period)];
+  if (!std::isfinite(value)) return 0.0;
+  return std::clamp(value, 0.0, 1.0);
+}
+
+PeriodEstimate EstimatePeriodWelchWithConfidence(const std::vector<double>& x,
+                                                 int64_t min_period,
+                                                 int64_t max_period) {
+  PeriodEstimate estimate;
+  estimate.period = std::max<int64_t>(min_period, 2);
+  if (static_cast<int64_t>(x.size()) < 32) return estimate;  // confidence 0
+  estimate.period = EstimatePeriodWelch(x, min_period, max_period);
+  estimate.confidence = PeriodAcfConfidence(x, estimate.period);
+  return estimate;
 }
 
 }  // namespace triad::signal

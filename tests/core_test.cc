@@ -521,20 +521,98 @@ TEST(DetectorTest, FitRejectsShortSeries) {
   EXPECT_FALSE(detector.Fit(Sine(30, 10.0)).ok());
 }
 
-TEST(DetectorTest, RejectsNonFiniteInput) {
+TEST(DetectorTest, RepairsMildlyCorruptedInput) {
+  // A single NaN sample is inside the sanitizer's repair envelope: Fit
+  // succeeds, and the repair shows up in the training report.
   std::vector<double> train = Sine(500, 25.0);
   train[100] = std::numeric_limits<double>::quiet_NaN();
   TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(train).ok());
+  EXPECT_EQ(detector.train_sanitize_report().non_finite_samples, 1);
+  EXPECT_EQ(detector.train_sanitize_report().repaired_samples, 1);
+
+  // Same for a single Inf in the test series; the result carries the report.
+  std::vector<double> test = Sine(300, 25.0);
+  test[50] = std::numeric_limits<double>::infinity();
+  auto result = detector.Detect(test);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->sanitize_report.non_finite_samples, 1);
+  EXPECT_EQ(result->sanitize_report.repaired_samples, 1);
+}
+
+TEST(DetectorTest, StrictSanitizeModeRejectsNonFiniteInput) {
+  // With repair disabled the pre-hardening contract applies: any
+  // non-finite sample is an InvalidArgument.
+  TriadConfig config = TinyConfig();
+  config.sanitize.repair = false;
+  std::vector<double> train = Sine(500, 25.0);
+  train[100] = std::numeric_limits<double>::quiet_NaN();
+  TriadDetector detector(config);
   const Status s = detector.Fit(train);
-  EXPECT_FALSE(s.ok());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(s.message().find("non-finite"), std::string::npos);
 
-  // A fitted detector also rejects a poisoned test series.
-  TriadDetector fitted(TinyConfig());
+  TriadDetector fitted(config);
   ASSERT_TRUE(fitted.Fit(Sine(500, 25.0)).ok());
   std::vector<double> test = Sine(300, 25.0);
   test[50] = std::numeric_limits<double>::infinity();
-  EXPECT_FALSE(fitted.Detect(test).ok());
+  const auto result = fitted.Detect(test);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DetectorTest, RejectsUnrepairableInput) {
+  // A 40-sample dropout exceeds max_interpolate_gap: reject, don't guess.
+  std::vector<double> train = Sine(500, 25.0);
+  for (int64_t i = 200; i < 240; ++i) {
+    train[static_cast<size_t>(i)] = std::numeric_limits<double>::quiet_NaN();
+  }
+  TriadDetector detector(TinyConfig());
+  const Status s = detector.Fit(train);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DetectorTest, FitRejectsInvalidConfigGracefully) {
+  TriadConfig config = TinyConfig();
+  config.depth = 0;
+  TriadDetector detector(config);
+  const Status s = detector.Fit(Sine(500, 25.0));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  TriadConfig no_domains = TinyConfig();
+  no_domains.use_temporal = false;
+  no_domains.use_frequency = false;
+  no_domains.use_residual = false;
+  TriadDetector empty(no_domains);
+  EXPECT_FALSE(empty.Fit(Sine(500, 25.0)).ok());
+}
+
+TEST(DetectorTest, PeriodConfidenceFallsBackOnNoise) {
+  // White noise has no periodicity: the ACF confidence collapses and the
+  // detector segments on the fallback period instead of a nonsense
+  // estimate.
+  Rng rng(123);
+  std::vector<double> noise(600);
+  for (auto& v : noise) v = rng.Normal();
+  TriadConfig config = TinyConfig();
+  config.fallback_period = 24;
+  // Finite-sample ACF noise sits at ~1/sqrt(n); 0.2 keeps a wide margin on
+  // both sides (noise << 0.2 << periodic ~1).
+  config.min_period_confidence = 0.2;
+  TriadDetector detector(config);
+  ASSERT_TRUE(detector.Fit(noise).ok());
+  EXPECT_TRUE(detector.period_fallback());
+  EXPECT_LT(detector.period_confidence(), config.min_period_confidence);
+  EXPECT_EQ(detector.period(), 24);
+
+  // A clean periodic series keeps the estimate and a high confidence.
+  TriadDetector periodic(TinyConfig());
+  ASSERT_TRUE(periodic.Fit(Sine(500, 25.0)).ok());
+  EXPECT_FALSE(periodic.period_fallback());
+  EXPECT_GT(periodic.period_confidence(), 0.5);
 }
 
 TEST(DetectorTest, SurvivesNearConstantTraining) {

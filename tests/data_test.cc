@@ -209,6 +209,46 @@ TEST(UcrIoTest, ParseRejectsMalformedNames) {
   EXPECT_FALSE(ParseUcrFileName("004_UCR_Anomaly_X_500_100_200.txt").ok());
 }
 
+// Every malformed-name family must come back as InvalidArgument — never a
+// crash (std::stoll used to throw on the overflow rows) and never OK.
+TEST(UcrIoTest, ParseMalformedNameTable) {
+  struct Row {
+    const char* name;
+    const char* why;
+  };
+  const Row kRows[] = {
+      {"", "empty"},
+      {".txt", "extension only"},
+      {"004_UCR_Anomaly.txt", "too few fields"},
+      {"004_UCR_Anomaly_X_100.txt", "missing split indices"},
+      {"004_UCR_Anomaly_X_100_200.txt", "missing one split index"},
+      {"004_UCR_Anomaly_X__200_300.txt", "empty numeric field"},
+      {"004_UCR_Anomaly_X_1e3_200_300.txt", "scientific notation"},
+      {"004_UCR_Anomaly_X_-100_200_300.txt", "negative index"},
+      {"004_UCR_Anomaly_X_100_200_30x.txt", "trailing garbage digit"},
+      {"004_UCR_Anomaly_X_99999999999999999999_2_3.txt", "int64 overflow"},
+      {"004_UCR_Anomaly_X_1_99999999999999999999999999999_2.txt",
+       "int64 overflow mid-field"},
+      {"004_UCR_Anomaly_X_500_100_200.txt", "anomaly inside train split"},
+      {"004_UCR_Anomaly_X_100_300_200.txt", "anomaly end before begin"},
+  };
+  for (const Row& row : kRows) {
+    auto info = ParseUcrFileName(row.name);
+    ASSERT_FALSE(info.ok()) << row.why << ": " << row.name;
+    EXPECT_EQ(info.status().code(), StatusCode::kInvalidArgument)
+        << row.why << ": " << row.name;
+  }
+}
+
+TEST(UcrIoTest, ParseAcceptsBoundaryValues) {
+  // Largest representable index parses fine; overflow is one digit away.
+  auto info =
+      ParseUcrFileName("004_UCR_Anomaly_X_100_9223372036854775806_"
+                       "9223372036854775807.txt");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->anomaly_end, 9223372036854775807LL);
+}
+
 TEST(UcrIoTest, SaveLoadRoundTrip) {
   UcrGeneratorOptions options = SmallOptions();
   options.count = 1;

@@ -77,12 +77,24 @@ TEST(MassTest, SelfMatchHasZeroDistance) {
   EXPECT_NEAR(profile[20], 0.0, 1e-6);
 }
 
-TEST(MassTest, FlatWindowsGetMaxDistance) {
+TEST(MassTest, FlatWindowsGetInfiniteDistance) {
   std::vector<double> series(40, 0.0);
   for (size_t i = 20; i < 40; ++i) series[i] = std::sin(0.7 * i);
   std::vector<double> query(series.begin() + 25, series.begin() + 35);
   const std::vector<double> profile = MassDistanceProfile(series, query);
-  EXPECT_NEAR(profile[0], 2.0 * std::sqrt(10.0), 1e-9);  // flat window
+  // A flat window has no z-normalized shape: +inf marks it incomparable so
+  // discord ranking excludes it (ARCHITECTURE.md §5).
+  EXPECT_TRUE(std::isinf(profile[0]));
+  EXPECT_GT(profile[0], 0.0);
+}
+
+TEST(MassTest, FlatQueryAgainstFlatWindowIsZero) {
+  std::vector<double> series(40, 2.5);
+  for (size_t i = 20; i < 40; ++i) series[i] = std::sin(0.7 * i) + 2.5;
+  std::vector<double> query(series.begin() + 0, series.begin() + 10);  // flat
+  const std::vector<double> profile = MassDistanceProfile(series, query);
+  EXPECT_EQ(profile[0], 0.0);               // flat vs flat: identical shape
+  EXPECT_TRUE(std::isinf(profile[25]));     // flat vs structured: excluded
 }
 
 TEST(EarlyAbandonTest, ExactWhenNotAbandoned) {

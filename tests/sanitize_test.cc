@@ -1,0 +1,236 @@
+#include "data/sanitize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace triad::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> SineSeries(int64_t n, double period = 25.0) {
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] =
+        std::sin(2.0 * 3.14159265358979 * static_cast<double>(i) / period);
+  }
+  return x;
+}
+
+TEST(SanitizeTest, CleanSeriesPassesThroughBitIdentical) {
+  const std::vector<double> x = SineSeries(256);
+  auto result = SanitizeSeries(x);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->series, x);  // exact, not approximate
+  EXPECT_TRUE(result->report.clean());
+  EXPECT_EQ(result->report.repaired_samples, 0);
+  EXPECT_EQ(result->report.length, 256);
+}
+
+TEST(SanitizeTest, ShortNanGapIsInterpolated) {
+  std::vector<double> x = SineSeries(128);
+  const std::vector<double> original = x;
+  for (int64_t i = 40; i < 44; ++i) x[static_cast<size_t>(i)] = kNaN;
+  auto result = SanitizeSeries(x);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->report.non_finite_samples, 4);
+  EXPECT_EQ(result->report.repaired_samples, 4);
+  ASSERT_EQ(result->report.defects.size(), 1u);
+  EXPECT_EQ(result->report.defects[0].type, DefectType::kNonFinite);
+  EXPECT_EQ(result->report.defects[0].begin, 40);
+  EXPECT_EQ(result->report.defects[0].end, 44);
+  EXPECT_TRUE(result->report.defects[0].repaired);
+  // Repaired values are finite and lie between the bridging neighbours.
+  for (int64_t i = 40; i < 44; ++i) {
+    const double v = result->series[static_cast<size_t>(i)];
+    EXPECT_TRUE(std::isfinite(v));
+    // Linear interpolation across the 6-sample bridging chord of a
+    // period-25 sine deviates by at most ~0.16 near the steepest section.
+    EXPECT_NEAR(v, original[static_cast<size_t>(i)], 0.2);
+  }
+  // Untouched samples are bit-identical.
+  EXPECT_EQ(result->series[0], x[0]);
+  EXPECT_EQ(result->series[127], x[127]);
+}
+
+TEST(SanitizeTest, EdgeGapsHoldNearestFiniteValue) {
+  std::vector<double> x = SineSeries(64);
+  x[0] = kNaN;
+  x[1] = kNaN;
+  x[63] = -kInf;
+  auto result = SanitizeSeries(x);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->series[0], x[2]);
+  EXPECT_EQ(result->series[1], x[2]);
+  EXPECT_EQ(result->series[63], x[62]);
+}
+
+TEST(SanitizeTest, LongNanGapRejects) {
+  std::vector<double> x = SineSeries(256);
+  for (int64_t i = 50; i < 90; ++i) x[static_cast<size_t>(i)] = kNaN;
+  auto result = SanitizeSeries(x);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("gap"), std::string::npos);
+}
+
+TEST(SanitizeTest, AllNonFiniteRejects) {
+  const std::vector<double> x(64, kNaN);
+  auto result = SanitizeSeries(x);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SanitizeTest, TooShortRejects) {
+  auto result = SanitizeSeries(std::vector<double>{1.0, 2.0, 3.0});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("short"), std::string::npos);
+}
+
+TEST(SanitizeTest, ScaleGlitchIsWinsorized) {
+  std::vector<double> x = SineSeries(256);
+  x[100] = 5e4;
+  x[180] = -7e5;
+  auto result = SanitizeSeries(x);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->report.glitch_samples, 2);
+  EXPECT_EQ(result->report.repaired_samples, 2);
+  // Winsorized values rejoin the robust bulk of the signal: a sine has
+  // MAD ~0.5, so 3 robust sigmas is ~2.2.
+  EXPECT_LT(std::abs(result->series[100]), 5.0);
+  EXPECT_LT(std::abs(result->series[180]), 5.0);
+  EXPECT_GT(result->series[100], 0.0);  // clamp keeps the excursion's sign
+  EXPECT_LT(result->series[180], 0.0);
+}
+
+TEST(SanitizeTest, LegitimateSharpFeaturesAreNotGlitches) {
+  // An ECG-like series: baseline noise with a tall repeating QRS spike.
+  // The spike sits tens of robust sigmas out — far inside the 100-sigma
+  // fence, so the sanitizer must leave it alone.
+  Rng rng(7);
+  std::vector<double> x(512);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.05 * rng.Normal();
+    if (i % 64 == 32) x[i] += 1.5;  // QRS-like peak
+  }
+  auto result = SanitizeSeries(x);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->report.glitch_samples, 0);
+  EXPECT_EQ(result->series, x);
+}
+
+TEST(SanitizeTest, StuckRunIsRecordedNotRepaired) {
+  std::vector<double> x = SineSeries(512);
+  for (int64_t i = 100; i < 200; ++i) x[static_cast<size_t>(i)] = 0.25;
+  auto result = SanitizeSeries(x);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->report.stuck_samples, 100);
+  EXPECT_EQ(result->report.repaired_samples, 0);
+  ASSERT_EQ(result->report.defects.size(), 1u);
+  EXPECT_EQ(result->report.defects[0].type, DefectType::kStuckRun);
+  EXPECT_FALSE(result->report.defects[0].repaired);
+  EXPECT_EQ(result->series, x);  // recorded, untouched
+}
+
+TEST(SanitizeTest, MostlyStuckSeriesRejects) {
+  std::vector<double> x = SineSeries(400);
+  for (int64_t i = 50; i < 350; ++i) x[static_cast<size_t>(i)] = 0.0;
+  auto result = SanitizeSeries(x);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("stuck"), std::string::npos);
+}
+
+TEST(SanitizeTest, ExcessiveDamageRejects) {
+  std::vector<double> x = SineSeries(400);
+  // 30% isolated NaN samples: each gap is interpolable but the total
+  // damage crosses max_damage_fraction = 0.2.
+  for (int64_t i = 40; i < 360; i += 3) x[static_cast<size_t>(i)] = kNaN;
+  auto result = SanitizeSeries(x);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("damaged"), std::string::npos);
+}
+
+TEST(SanitizeTest, StrictModeRejectsInsteadOfRepairing) {
+  std::vector<double> x = SineSeries(128);
+  x[64] = kNaN;
+  SanitizeOptions strict;
+  strict.repair = false;
+  auto result = SanitizeSeries(x, strict);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("non-finite"), std::string::npos);
+}
+
+TEST(SanitizeTest, StrictModeStillAcceptsStuckRuns) {
+  // Stuck runs are recordable degradation, not damage; strict mode lets
+  // them through (the kernel flat guards neutralize them downstream).
+  std::vector<double> x = SineSeries(512);
+  for (int64_t i = 100; i < 180; ++i) x[static_cast<size_t>(i)] = 0.25;
+  SanitizeOptions strict;
+  strict.repair = false;
+  auto result = SanitizeSeries(x, strict);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->series, x);
+}
+
+TEST(SanitizeTest, ScanDoesNotModifyAndMatchesSanitizeFindings) {
+  std::vector<double> x = SineSeries(256);
+  x[30] = kNaN;
+  x[200] = 1e6;
+  const std::vector<double> before = x;
+  const SanitizeReport scan = ScanSeries(x);
+  // Scanning never mutates — bitwise comparison, since x contains a NaN
+  // (which operator== would report as unequal to itself).
+  ASSERT_EQ(x.size(), before.size());
+  EXPECT_EQ(std::memcmp(x.data(), before.data(), x.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(scan.non_finite_samples, 1);
+  EXPECT_EQ(scan.glitch_samples, 1);
+  EXPECT_EQ(scan.repaired_samples, 0);  // nothing repaired on a scan
+  auto repaired = SanitizeSeries(x);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->report.non_finite_samples, scan.non_finite_samples);
+  EXPECT_EQ(repaired->report.glitch_samples, scan.glitch_samples);
+  EXPECT_EQ(repaired->report.defects.size(), scan.defects.size());
+}
+
+TEST(SanitizeTest, SummaryMentionsEachDefectKind) {
+  std::vector<double> x = SineSeries(512);
+  x[10] = kNaN;
+  x[300] = 1e7;
+  for (int64_t i = 400; i < 470; ++i) x[static_cast<size_t>(i)] = 0.5;
+  auto result = SanitizeSeries(x);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string summary = result->report.Summary();
+  EXPECT_NE(summary.find("non-finite"), std::string::npos);
+  EXPECT_NE(summary.find("glitch"), std::string::npos);
+  EXPECT_NE(summary.find("stuck"), std::string::npos);
+  EXPECT_NE(summary.find("repaired"), std::string::npos);
+}
+
+TEST(SanitizeTest, DefectSpansAreSortedByPosition) {
+  std::vector<double> x = SineSeries(512);
+  for (int64_t i = 400; i < 470; ++i) x[static_cast<size_t>(i)] = 0.5;
+  x[50] = kNaN;
+  x[200] = -4e6;
+  auto result = SanitizeSeries(x);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->report.defects.size(), 3u);
+  for (size_t i = 1; i < result->report.defects.size(); ++i) {
+    EXPECT_LE(result->report.defects[i - 1].begin,
+              result->report.defects[i].begin);
+  }
+}
+
+}  // namespace
+}  // namespace triad::data

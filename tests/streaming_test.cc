@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "common/rng.h"
 #include "core/streaming.h"
 #include "data/ucr_generator.h"
 
@@ -106,6 +108,116 @@ TEST(StreamingTest, AlarmTimelineMatchesTotalPoints) {
   StreamingTriad stream(&detector);
   ASSERT_TRUE(stream.Append(ds.test).ok());
   EXPECT_EQ(stream.alarms().size(), ds.test.size());
+}
+
+TEST(StreamingTest, UnfittedDetectorFailsGracefully) {
+  // An unfitted detector used to trip a TRIAD_CHECK in the constructor;
+  // now the first scoring pass surfaces FailedPrecondition instead.
+  TriadDetector detector(TinyConfig());
+  StreamingTriad stream(&detector);
+  auto events = stream.Append(std::vector<double>(64, 0.5));
+  ASSERT_FALSE(events.ok());
+  EXPECT_EQ(events.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingTest, CorruptedBurstBecomesTimelineGapNotAnError) {
+  const data::UcrDataset ds = SmallDataset(66);
+  TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(ds.train).ok());
+  // Two windows per buffer so the 320-point feed yields several passes.
+  StreamingOptions options;
+  options.buffer_length = 2 * detector.window_length();
+  StreamingTriad stream(&detector, options);
+
+  // Clean lead-in, then a burst so corrupted every pass over it rejects
+  // (a 40-NaN gap is beyond max_interpolate_gap), then clean tail.
+  std::vector<double> feed = ds.test;
+  ASSERT_GT(static_cast<int64_t>(feed.size()), stream.buffer_length() + 90);
+  const int64_t burst_begin = stream.buffer_length() + 10;
+  for (int64_t i = burst_begin; i < burst_begin + 40; ++i) {
+    feed[static_cast<size_t>(i)] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  auto events = stream.Append(feed);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_GT(stream.failed_passes(), 0);
+  ASSERT_FALSE(stream.gaps().empty());
+  // Gaps cover the corrupted burst, are ordered, merged and in range.
+  bool covers_burst = false;
+  for (const TimelineGap& g : stream.gaps()) {
+    EXPECT_LE(0, g.begin);
+    EXPECT_LT(g.begin, g.end);
+    EXPECT_LE(g.end, stream.total_points());
+    covers_burst = covers_burst ||
+                   (g.begin <= burst_begin && burst_begin + 40 <= g.end);
+  }
+  EXPECT_TRUE(covers_burst);
+  for (size_t i = 1; i < stream.gaps().size(); ++i) {
+    EXPECT_GT(stream.gaps()[i].begin, stream.gaps()[i - 1].end);
+  }
+  // The clean lead-in was still scored before the corruption arrived.
+  EXPECT_GT(stream.passes(), 0);
+  EXPECT_EQ(stream.total_points(), static_cast<int64_t>(feed.size()));
+  EXPECT_EQ(stream.alarms().size(), feed.size());
+}
+
+// Property: the global alarm timeline is a function of the points fed, not
+// of how they were chunked — every seeded random chunking must reproduce
+// the one-shot timeline, including when a corrupted burst forces
+// sanitize-rejected passes along the way.
+TEST(StreamingTest, TimelineInvariantUnderArbitraryChunking) {
+  const data::UcrDataset ds = SmallDataset(67);
+  TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(ds.train).ok());
+
+  std::vector<double> feed = ds.test;
+  // Inject a rejectable burst early so chunking equivalence also covers the
+  // failed-pass/gap recovery path while later passes still score cleanly.
+  for (int64_t i = 60; i < 100; ++i) {
+    feed[static_cast<size_t>(i)] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  StreamingOptions stream_options;
+  stream_options.buffer_length = 2 * detector.window_length();
+  auto run_chunked = [&](uint64_t seed) {
+    StreamingTriad stream(&detector, stream_options);
+    if (seed == 0) {
+      EXPECT_TRUE(stream.Append(feed).ok());
+    } else {
+      Rng rng(seed);
+      size_t off = 0;
+      while (off < feed.size()) {
+        const size_t len = std::min<size_t>(
+            feed.size() - off,
+            static_cast<size_t>(rng.UniformInt(1, 61)));
+        auto events = stream.Append(std::vector<double>(
+            feed.begin() + static_cast<long>(off),
+            feed.begin() + static_cast<long>(off + len)));
+        EXPECT_TRUE(events.ok()) << events.status().ToString();
+        off += len;
+      }
+    }
+    return stream;
+  };
+
+  const StreamingTriad one_shot = run_chunked(0);
+  // The fixture must exercise both sides of the ladder or the property is
+  // vacuous: some passes reject (gap) and some score cleanly.
+  ASSERT_GT(one_shot.failed_passes(), 0);
+  ASSERT_GT(one_shot.passes(), 0);
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    const StreamingTriad chunked = run_chunked(seed);
+    EXPECT_EQ(chunked.alarms(), one_shot.alarms()) << "seed=" << seed;
+    EXPECT_EQ(chunked.passes(), one_shot.passes()) << "seed=" << seed;
+    EXPECT_EQ(chunked.failed_passes(), one_shot.failed_passes())
+        << "seed=" << seed;
+    ASSERT_EQ(chunked.gaps().size(), one_shot.gaps().size())
+        << "seed=" << seed;
+    for (size_t i = 0; i < chunked.gaps().size(); ++i) {
+      EXPECT_EQ(chunked.gaps()[i].begin, one_shot.gaps()[i].begin);
+      EXPECT_EQ(chunked.gaps()[i].end, one_shot.gaps()[i].end);
+    }
+  }
 }
 
 }  // namespace

@@ -102,6 +102,46 @@ TEST(VotingTest, NoWindowsNoException) {
 TEST(VotingTest, EmptyEvidenceGivesAllZero) {
   const VotingResult r = RunVoting(15, {}, {}, VotingOptions{});
   EXPECT_DOUBLE_EQ(r.threshold, 0.0);
+  EXPECT_EQ(r.predictions.size(), 15u);
+  for (int v : r.predictions) EXPECT_EQ(v, 0);
+  EXPECT_FALSE(r.exception_applied);
+}
+
+// Regression: an all-zero vote vector used to fall through to the exception
+// rule (and, under kNormalized with n = 0, into a max_element over an empty
+// vector). No evidence must mean an empty prediction — full stop.
+TEST(VotingTest, AllZeroVotesNeverFireTheException) {
+  // A window entirely outside [0, n) contributes no votes; neither do
+  // zero-weight discords.
+  const VotingResult r = RunVoting(20, {{25, 5}}, {}, VotingOptions{});
+  EXPECT_DOUBLE_EQ(r.threshold, 0.0);
+  EXPECT_FALSE(r.exception_applied);
+  for (int v : r.predictions) EXPECT_EQ(v, 0);
+}
+
+TEST(VotingTest, EmptySeriesGivesEmptyResult) {
+  for (auto weighting :
+       {VoteWeighting::kUniform, VoteWeighting::kDistanceWeighted,
+        VoteWeighting::kNormalized}) {
+    VotingOptions options;
+    options.weighting = weighting;
+    const VotingResult r = RunVoting(0, {}, {}, options);
+    EXPECT_TRUE(r.votes.empty());
+    EXPECT_TRUE(r.predictions.empty());
+    EXPECT_DOUBLE_EQ(r.threshold, 0.0);
+    EXPECT_FALSE(r.exception_applied);
+    // Negative n is equally inert.
+    const VotingResult neg = RunVoting(-3, {}, {}, options);
+    EXPECT_TRUE(neg.votes.empty());
+    EXPECT_TRUE(neg.predictions.empty());
+  }
+}
+
+TEST(VotingTest, NormalizedWeightingWithEmptyDiscordSet) {
+  VotingOptions options;
+  options.weighting = VoteWeighting::kNormalized;
+  const VotingResult r = RunVoting(12, {}, {}, options);
+  EXPECT_EQ(r.predictions.size(), 12u);
   for (int v : r.predictions) EXPECT_EQ(v, 0);
 }
 
