@@ -21,8 +21,11 @@
 
 #include "bench_util.h"
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/simd.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "core/detector.h"
 #include "data/ucr_generator.h"
 #include "nn/kernels.h"
@@ -246,7 +249,107 @@ BENCHMARK(BM_TrainDetectEndToEnd)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// --json mode: one fixed-size pass over the kernel hot paths plus the full
+// train+detect pipeline, recorded through the observability layer and
+// emitted as BENCH_kernels.json (schema in bench/README.md) — the record
+// CI validates and the perf trajectory tracks PR-over-PR. Fixed iteration
+// counts instead of google-benchmark's adaptive timing keep the record
+// cheap and the workload identical across runs.
+int RunJsonMode() {
+  metrics::ScopedEnable enable(true);
+  metrics::Registry::Global().ResetAll();
+  trace::TraceBuffer::Global().Clear();
+  Timer wall;
+
+  {
+    trace::TraceSpan span("kernel.dot");
+    const int64_t n = 4096;
+    const std::vector<float> a = RandomFloats(n, 1);
+    const std::vector<float> b = RandomFloats(n, 2);
+    for (int iter = 0; iter < 2000; ++iter) {
+      benchmark::DoNotOptimize(simd::Dot(a.data(), b.data(), n));
+    }
+  }
+  {
+    trace::TraceSpan span("kernel.conv1d_forward");
+    const int64_t B = 8, Cin = 32, Cout = 32, K = 3, dilation = 4;
+    const int64_t Lout = 160, Lpad = Lout + dilation * (K - 1);
+    const std::vector<float> xpad = RandomFloats(B * Cin * Lpad, 6);
+    const std::vector<float> w = RandomFloats(Cout * Cin * K, 7);
+    std::vector<float> out(static_cast<size_t>(B * Cout * Lout));
+    for (int iter = 0; iter < 50; ++iter) {
+      std::fill(out.begin(), out.end(), 0.0f);
+      nn::kernels::Conv1dForward(xpad.data(), w.data(), out.data(), B, Cin,
+                                 Cout, K, Lpad, Lout, dilation);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  {
+    trace::TraceSpan span("kernel.znorm_dist_row");
+    const int64_t n = 16384 - 64 + 1, m = 64;
+    const std::vector<double> dot = RandomDoubles(n, 14);
+    const std::vector<double> mu = RandomDoubles(n, 15);
+    const std::vector<double> sd(static_cast<size_t>(n), 1.25);
+    std::vector<double> out(static_cast<size_t>(n));
+    for (int iter = 0; iter < 200; ++iter) {
+      simd::ZNormDistRow(dot.data(), mu.data(), sd.data(), 0.1, 0.9, m,
+                         out.data(), n);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+
+  // End-to-end pipeline pass (same workload as BM_TrainDetectEndToEnd);
+  // this populates the detector/trainer/merlin spans and the mass/stomp/
+  // parallel instruments.
+  double train_detect_seconds;
+  {
+    trace::TraceSpan span("bench.train_detect");
+    data::UcrGeneratorOptions gen;
+    gen.count = 1;
+    gen.seed = 54;
+    gen.min_period = 32;
+    gen.max_period = 40;
+    gen.min_train_periods = 14;
+    gen.max_train_periods = 16;
+    gen.min_test_periods = 10;
+    gen.max_test_periods = 12;
+    gen.severity = 1.0;
+    Rng rng(gen.seed);
+    const data::UcrDataset ds = data::MakeUcrDataset(
+        gen, 0, data::AnomalyType::kSeasonal, "sine", &rng);
+    core::TriadConfig config;
+    config.depth = 4;
+    config.hidden_dim = 32;
+    config.epochs = 4;
+    config.seed = 17;
+    config.merlin_length_step = 4;
+    core::TriadDetector detector(config);
+    TRIAD_CHECK(detector.Fit(ds.train).ok());
+    auto result = detector.Detect(ds.test);
+    TRIAD_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->votes);
+    train_detect_seconds = span.Stop();
+  }
+
+  WriteBenchJson("kernels", wall.ElapsedSeconds(),
+                 {{"train_detect_seconds", train_detect_seconds}});
+  return 0;
+}
+
 }  // namespace
 }  // namespace triad::bench
 
-BENCHMARK_MAIN();
+// google-benchmark's BENCHMARK_MAIN rejects flags it does not know, so the
+// --json mode is dispatched before benchmark::Initialize ever sees argv.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == std::string("--json")) {
+      return triad::bench::RunJsonMode();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

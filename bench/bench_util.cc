@@ -1,10 +1,12 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include "common/check.h"
 #include "common/env.h"
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace triad::bench {
 
@@ -115,6 +117,19 @@ core::DetectionResult RunTriad(const core::TriadConfig& config,
                                    << ds.name << ": "
                                    << result.status().ToString());
   return std::move(result).value();
+}
+
+std::string WriteBenchJson(
+    const std::string& name, double wall_seconds,
+    const std::vector<std::pair<std::string, double>>& extra) {
+  const std::string dir = GetEnvString("TRIAD_BENCH_JSON_DIR", ".");
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  TRIAD_CHECK_MSG(static_cast<bool>(out), "cannot write " << path);
+  trace::WriteObservabilityJson(out, name, wall_seconds, extra);
+  TRIAD_CHECK_MSG(static_cast<bool>(out), "write failed for " << path);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace triad::bench

@@ -2,6 +2,7 @@
 #define TRIAD_BENCH_BENCH_UTIL_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
@@ -70,6 +71,17 @@ bool WindowHitsAnomaly(int64_t start, int64_t length,
 /// Aborts on pipeline errors (benches treat them as fatal).
 core::DetectionResult RunTriad(const core::TriadConfig& config,
                                const data::UcrDataset& ds);
+
+/// \brief Writes the machine-readable bench record `BENCH_<name>.json`
+/// (schema `triad-observability-v1`, documented in bench/README.md): wall
+/// time, the per-span breakdown aggregated from the global trace buffer,
+/// the active SIMD tier, the default pool's thread count, every registry
+/// instrument, and the caller's `extra` scalars. The output directory
+/// comes from TRIAD_BENCH_JSON_DIR (default "."). Returns the path
+/// written; aborts if the file cannot be created.
+std::string WriteBenchJson(
+    const std::string& name, double wall_seconds,
+    const std::vector<std::pair<std::string, double>>& extra = {});
 
 }  // namespace triad::bench
 

@@ -5,6 +5,9 @@
 //
 // Optional flags (after the path): --epochs N --depth N --hidden N
 //   --save ckpt.bin (write the fitted detector)
+//   --metrics-json out.json (write the observability report: per-stage
+//   spans, registry instruments, SIMD tier, thread count — the same
+//   triad-observability-v1 schema as the BENCH_*.json records)
 //
 // Prints the detection spans, all rigorous metrics, and the per-stage
 // interpretability artifacts.
@@ -12,9 +15,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/stats.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "core/detector.h"
 #include "data/ucr_generator.h"
 #include "data/ucr_io.h"
@@ -25,7 +31,7 @@ namespace {
 void PrintUsage(const char* argv0) {
   std::printf(
       "usage: %s <ucr_file.txt | --demo> [--epochs N] [--depth N] "
-      "[--hidden N] [--save ckpt.bin]\n",
+      "[--hidden N] [--save ckpt.bin] [--metrics-json out.json]\n",
       argv0);
 }
 
@@ -43,6 +49,8 @@ int main(int argc, char** argv) {
   config.hidden_dim = 16;
   config.epochs = 8;
   std::string save_path;
+  std::string metrics_json_path;
+  Timer wall;
 
   data::UcrDataset dataset;
   if (std::strcmp(argv[1], "--demo") == 0) {
@@ -70,6 +78,8 @@ int main(int argc, char** argv) {
       config.hidden_dim = std::atoll(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--save") == 0) {
       save_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_json_path = argv[i + 1];
     } else {
       PrintUsage(argv[0]);
       return 2;
@@ -146,6 +156,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("checkpoint written to %s\n", save_path.c_str());
+  }
+
+  if (!metrics_json_path.empty()) {
+    std::ofstream out(metrics_json_path);
+    if (!out) {
+      std::printf("cannot write %s\n", metrics_json_path.c_str());
+      return 1;
+    }
+    trace::WriteObservabilityJson(out, "ucr_runner:" + dataset.name,
+                                  wall.ElapsedSeconds(),
+                                  {{"f1_pw", pw.F1()}, {"f1_pak_auc", pak.f1_auc}});
+    std::printf("observability report written to %s\n",
+                metrics_json_path.c_str());
   }
   return 0;
 }

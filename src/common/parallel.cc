@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace triad {
 namespace {
@@ -17,6 +18,29 @@ namespace {
 thread_local const ThreadPool* tls_executing_pool = nullptr;
 
 ThreadPool* g_default_override = nullptr;
+
+// Pool telemetry (ARCHITECTURE.md §6), updated at batch granularity so the
+// chunk-dispatch hot path stays untouched. `queue_depth` is the chunk count
+// of the most recently published batch; `utilization` is that batch's
+// chunks-per-lane ratio (>= 1 means every lane had work).
+struct PoolMetrics {
+  metrics::Counter* batches =
+      metrics::Registry::Global().counter("parallel.batches");
+  metrics::Counter* inline_batches =
+      metrics::Registry::Global().counter("parallel.inline_batches");
+  metrics::Counter* chunks =
+      metrics::Registry::Global().counter("parallel.chunks");
+  metrics::Gauge* queue_depth =
+      metrics::Registry::Global().gauge("parallel.queue_depth");
+  metrics::Gauge* utilization =
+      metrics::Registry::Global().gauge("parallel.utilization");
+  metrics::Gauge* lanes = metrics::Registry::Global().gauge("parallel.lanes");
+};
+
+PoolMetrics& Instruments() {
+  static PoolMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -124,9 +148,17 @@ void ThreadPool::RunChunks(int64_t num_chunks,
   // deadlock waiting for lanes that are busy running the outer batch).
   if (num_chunks == 1 || impl_->workers.empty() ||
       tls_executing_pool == this) {
+    Instruments().inline_batches->Increment();
     for (int64_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
+
+  Instruments().batches->Increment();
+  Instruments().chunks->Increment(static_cast<uint64_t>(num_chunks));
+  Instruments().queue_depth->Set(static_cast<double>(num_chunks));
+  Instruments().utilization->Set(static_cast<double>(num_chunks) /
+                                 static_cast<double>(num_threads_));
+  Instruments().lanes->Set(static_cast<double>(num_threads_));
 
   std::lock_guard<std::mutex> run_lock(impl_->run_mu);
   auto batch = std::make_shared<Batch>();

@@ -44,8 +44,13 @@ double Max(const std::vector<double>& v) {
 }
 
 double Quantile(std::vector<double> v, double q) {
-  TRIAD_CHECK(!v.empty());
-  TRIAD_CHECK(q >= 0.0 && q <= 1.0);
+  // Both arguments are reachable from user config (ThresholdRule::kQuantile
+  // with a user-supplied threshold_quantile, over a possibly empty vote
+  // set), so bad input gets a guarded fallback instead of a TRIAD_CHECK
+  // crash: empty → 0, q clamped into [0, 1] (NaN → 0).
+  if (v.empty()) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   std::sort(v.begin(), v.end());
   const double pos = q * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<size_t>(pos);

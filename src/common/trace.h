@@ -1,0 +1,146 @@
+#ifndef TRIAD_COMMON_TRACE_H_
+#define TRIAD_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace triad::trace {
+
+/// \brief Lightweight RAII trace spans recorded into a bounded ring buffer
+/// (see ARCHITECTURE.md §6).
+///
+/// A `TraceSpan` measures one named region of wall-clock time. Spans
+/// always *measure* (two steady-clock reads — that is what feeds the
+/// `DetectionResult` stage-seconds compatibility fields), but they only
+/// *record* into the global ring buffer when metrics::Enabled() is true,
+/// so `TRIAD_METRICS=off` leaves the buffer untouched and pays no
+/// synchronization. The buffer is bounded: when full, the oldest spans are
+/// overwritten — the newest spans are never lost.
+
+/// Span names longer than this are truncated on record (names are
+/// compile-time literals by convention; keep them short).
+constexpr int64_t kMaxSpanNameLength = 47;
+
+/// \brief One completed span.
+struct SpanRecord {
+  char name[kMaxSpanNameLength + 1] = {0};
+  double start_seconds = 0.0;     ///< since the process trace epoch
+  double duration_seconds = 0.0;
+  uint64_t sequence = 0;          ///< global record order, starts at 0
+};
+
+/// \brief Bounded MPMC ring buffer of completed spans.
+///
+/// The global instance backs every TraceSpan; independent instances are
+/// constructible for tests. Recording takes a short mutex — spans in this
+/// codebase are coarse (pipeline stages, per-length discord searches), so
+/// the lock is uncontended in practice and never sits inside an inner
+/// loop.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(int64_t capacity = 4096);
+  ~TraceBuffer();
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// The process-global buffer (intentionally leaked, like DefaultPool()).
+  static TraceBuffer& Global();
+
+  /// Appends a completed span, evicting the oldest if full. No-op when
+  /// metrics::Enabled() is false.
+  void Record(const char* name, double start_seconds,
+              double duration_seconds);
+
+  /// The retained spans, oldest to newest.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Drops every retained span and resets the sequence counter.
+  void Clear();
+
+  int64_t capacity() const;
+  /// Total spans ever recorded (>= retained count; detects eviction).
+  uint64_t total_recorded() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// \brief RAII span: records `[construction, Stop()-or-destruction)` into
+/// TraceBuffer::Global() under `name`.
+///
+/// `name` must outlive the span (string literals by convention).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span now, records it, and returns its duration in seconds.
+  /// Subsequent Stop() calls and the destructor are no-ops. Always returns
+  /// the measured duration, recorded or not — callers use it to fill
+  /// compatibility timing fields.
+  double Stop();
+
+  /// Seconds elapsed so far without ending the span.
+  double ElapsedSeconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const char* name_;
+  Clock::time_point start_;
+  bool active_;
+};
+
+/// \brief Per-name aggregate of a span snapshot (the unit of the JSON
+/// exporters and the bench BENCH_*.json per-span breakdown).
+struct SpanStats {
+  std::string name;
+  int64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Groups spans by name; result sorted by name.
+std::vector<SpanStats> AggregateSpans(const std::vector<SpanRecord>& spans);
+
+/// One line per aggregate: `span <name> count <n> total <s> min <s> max <s>`.
+std::string ExportSpansText(const std::vector<SpanStats>& stats);
+
+/// JSON array of {"name", "count", "total_seconds", "min_seconds",
+/// "max_seconds"} objects.
+std::string ExportSpansJson(const std::vector<SpanStats>& stats);
+
+/// \brief Writes the full observability report as one JSON document:
+///
+/// ```json
+/// {
+///   "schema": "triad-observability-v1",
+///   "name": "<name>",
+///   "wall_seconds": <w>,
+///   "simd_tier": "scalar" | "avx2",
+///   "threads": <default pool lanes>,
+///   "metrics_enabled": true | false,
+///   "spans": [...aggregated global trace buffer...],
+///   "counters": {...}, "gauges": {...}, "histograms": [...],
+///   "extra": {"<key>": <value>, ...}
+/// }
+/// ```
+///
+/// This is the schema behind the bench harness's `BENCH_<name>.json`
+/// files and `ucr_runner --metrics-json` (documented in bench/README.md).
+void WriteObservabilityJson(
+    std::ostream& os, const std::string& name, double wall_seconds,
+    const std::vector<std::pair<std::string, double>>& extra = {});
+
+}  // namespace triad::trace
+
+#endif  // TRIAD_COMMON_TRACE_H_

@@ -5,13 +5,14 @@
 #include <cstring>
 #include <sstream>
 #include <fstream>
+#include <map>
 #include <set>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "common/stats.h"
-#include "common/timer.h"
+#include "common/trace.h"
 #include "core/features.h"
 #include "data/sanitize.h"
 #include "discord/mass.h"
@@ -234,8 +235,10 @@ Result<DetectionResult> TriadDetector::Detect(
   // ---- stage 1: encode + tri-window nomination ----
   // The three domain encoders run as independent pool tasks (inference
   // only touches read-only model parameters); each similarity matrix then
-  // fans its rows out across the pool.
-  Timer timer;
+  // fans its rows out across the pool. Stage timings come from TraceSpans
+  // (ARCHITECTURE.md §6); the DetectionResult *_seconds fields are a
+  // compatibility view of the same measurements.
+  trace::TraceSpan encode_span("detector.encode");
   const std::vector<Domain> domains = model_->EnabledDomains();
   std::vector<std::vector<std::vector<float>>> reps(
       domains.size());  // [domain][window][L]
@@ -246,18 +249,18 @@ Result<DetectionResult> TriadDetector::Detect(
                       EncodeWindows(domains[static_cast<size_t>(di)], windows);
                 }
               });
-  result.encode_seconds = timer.ElapsedSeconds();
+  result.encode_seconds = encode_span.Stop();
 
-  timer.Reset();
+  trace::TraceSpan tri_window_span("detector.tri_window");
   for (size_t di = 0; di < domains.size(); ++di) {
     std::vector<double> sim = MeanPairwiseSimilarity(reps[di]);
     result.candidate_windows.push_back(ArgMin(sim));
     result.domain_similarity.push_back(std::move(sim));
   }
-  result.tri_window_seconds = timer.ElapsedSeconds();
+  result.tri_window_seconds = tri_window_span.Stop();
 
   // ---- stage 2: single-window selection against the training data ----
-  timer.Reset();
+  trace::TraceSpan selection_span("detector.selection");
   const std::set<int64_t> unique_candidates(result.candidate_windows.begin(),
                                             result.candidate_windows.end());
   const std::vector<int64_t> candidates(unique_candidates.begin(),
@@ -284,10 +287,10 @@ Result<DetectionResult> TriadDetector::Detect(
     }
   }
   result.selected_window = selected;
-  result.selection_seconds = timer.ElapsedSeconds();
+  result.selection_seconds = selection_span.Stop();
 
   // ---- stage 3: MERLIN discord search around the selected window ----
-  timer.Reset();
+  trace::TraceSpan discord_span("detector.discord");
   const int64_t w_start = result.window_starts[static_cast<size_t>(selected)];
   const int64_t pad = static_cast<int64_t>(std::llround(
       config_.merlin_padding_windows * static_cast<double>(window_length_)));
@@ -310,11 +313,13 @@ Result<DetectionResult> TriadDetector::Detect(
       result.discords.push_back(d);
     }
   }
-  result.discord_seconds = timer.ElapsedSeconds();
+  result.discord_seconds = discord_span.Stop();
 
   // ---- stage 4: voting (Eq. 8) + exception rule (Section IV-G) ----
-  VotingResult votes = RunVoting(n, {{w_start, window_length_}},
-                                 result.discords, config_.voting);
+  trace::TraceSpan voting_span("detector.voting");
+  VotingResult votes =
+      RunVoting(n, {{w_start, window_length_, best_deviation}},
+                result.discords, config_.voting);
   result.votes = std::move(votes.votes);
   result.vote_threshold = votes.threshold;
   result.predictions = std::move(votes.predictions);
@@ -359,7 +364,7 @@ Result<DetectionResult> TriadDetector::DetectEvents(
   // `max_events` least-similar windows. Domain encoders run as independent
   // pool tasks; the nomination logic stays serial (it is cheap and mutates
   // the shared pool set).
-  Timer timer;
+  trace::TraceSpan encode_span("detector.encode");
   const std::vector<Domain> domains = model_->EnabledDomains();
   std::vector<std::vector<std::vector<float>>> reps(domains.size());
   ParallelFor(0, static_cast<int64_t>(domains.size()), /*grain=*/1,
@@ -383,12 +388,12 @@ Result<DetectionResult> TriadDetector::DetectEvents(
     result.candidate_windows.push_back(order[0]);
     result.domain_similarity.push_back(std::move(sim));
   }
-  result.encode_seconds = timer.ElapsedSeconds();
+  result.encode_seconds = encode_span.Stop();
 
   // Rank the pool by deviation from the training data and greedily keep up
   // to max_events non-overlapping windows. The per-candidate MASS profiles
   // are independent, so they fan out across the pool.
-  timer.Reset();
+  trace::TraceSpan selection_span("detector.selection");
   const std::vector<int64_t> pooled(pool.begin(), pool.end());
   std::vector<std::pair<double, int64_t>> ranked(
       pooled.size());  // (-deviation, index)
@@ -405,6 +410,10 @@ Result<DetectionResult> TriadDetector::DetectEvents(
                 }
               });
   std::sort(ranked.begin(), ranked.end());
+  std::map<int64_t, double> deviation_by_window;
+  for (const auto& [neg_dev, cand] : ranked) {
+    deviation_by_window[cand] = -neg_dev;
+  }
   std::vector<int64_t> selected;
   for (const auto& [neg_dev, cand] : ranked) {
     bool overlaps = false;
@@ -418,17 +427,18 @@ Result<DetectionResult> TriadDetector::DetectEvents(
     if (static_cast<int64_t>(selected.size()) >= max_events) break;
   }
   result.selected_window = selected.empty() ? -1 : selected.front();
-  result.selection_seconds = timer.ElapsedSeconds();
+  result.selection_seconds = selection_span.Stop();
 
   // Discord search around every selected window.
-  timer.Reset();
+  trace::TraceSpan discord_span("detector.discord");
   std::vector<WindowVote> window_votes;
   const int64_t pad = static_cast<int64_t>(std::llround(
       config_.merlin_padding_windows * static_cast<double>(window_length_)));
   for (int64_t cand : selected) {
     const int64_t w_start =
         result.window_starts[static_cast<size_t>(cand)];
-    window_votes.push_back({w_start, window_length_});
+    window_votes.push_back(
+        {w_start, window_length_, deviation_by_window[cand]});
     const int64_t begin = std::max<int64_t>(0, w_start - pad);
     const int64_t end = std::min(n, w_start + window_length_ + pad);
     if (cand == result.selected_window) {
@@ -452,8 +462,9 @@ Result<DetectionResult> TriadDetector::DetectEvents(
       result.discords.push_back(d);
     }
   }
-  result.discord_seconds = timer.ElapsedSeconds();
+  result.discord_seconds = discord_span.Stop();
 
+  trace::TraceSpan voting_span("detector.voting");
   VotingResult votes =
       RunVoting(n, window_votes, result.discords, config_.voting);
   result.votes = std::move(votes.votes);

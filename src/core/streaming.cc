@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace triad::core {
+namespace {
+
+// Streaming health instruments (ARCHITECTURE.md §6). Gauges reflect the
+// state of the most recently active StreamingTriad — good enough for the
+// single-monitor deployments this class targets.
+struct StreamingMetrics {
+  metrics::Gauge* buffered_samples =
+      metrics::Registry::Global().gauge("streaming.buffered_samples");
+  metrics::Gauge* gaps =
+      metrics::Registry::Global().gauge("streaming.gaps");
+  metrics::Counter* passes =
+      metrics::Registry::Global().counter("streaming.passes");
+  metrics::Counter* failed_passes =
+      metrics::Registry::Global().counter("streaming.failed_passes");
+  metrics::Counter* sanitize_repairs =
+      metrics::Registry::Global().counter("streaming.sanitize_repairs");
+};
+
+StreamingMetrics& Instruments() {
+  static StreamingMetrics m;
+  return m;
+}
+
+}  // namespace
 
 StreamingTriad::StreamingTriad(const TriadDetector* detector,
                                StreamingOptions options)
@@ -50,6 +75,7 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
         return pass.status();
       }
       ++failed_passes_;
+      Instruments().failed_passes->Increment();
       const int64_t gap_end =
           buffer_global_start_ + static_cast<int64_t>(buffer_.size());
       if (!gaps_.empty() && buffer_global_start_ <= gaps_.back().end) {
@@ -57,10 +83,14 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
       } else {
         gaps_.push_back({buffer_global_start_, gap_end});
       }
+      Instruments().gaps->Set(static_cast<double>(gaps_.size()));
       continue;
     }
     DetectionResult result = std::move(pass).value();
     ++passes_;
+    Instruments().passes->Increment();
+    Instruments().sanitize_repairs->Increment(
+        static_cast<uint64_t>(result.sanitize_report.repaired_samples));
 
     // Merge flagged points into the global timeline; collect spans that
     // are newly alarmed.
@@ -85,6 +115,8 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
                static_cast<int64_t>(result.predictions.size())});
     }
   }
+
+  Instruments().buffered_samples->Set(static_cast<double>(buffer_.size()));
 
   // Merge adjacent/overlapping spans reported across passes.
   std::sort(new_events.begin(), new_events.end(),

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "core/augmentation.h"
 #include "core/features.h"
 #include "nn/optimizer.h"
@@ -81,7 +83,21 @@ Result<TrainStats> TriadTrainer::Fit(
   std::vector<int64_t> order(train_windows.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
 
+  // Observability: per-epoch spans and running loss instruments
+  // (ARCHITECTURE.md §6). Pure telemetry — nothing below reads them back.
+  static metrics::Counter* epochs_counter =
+      metrics::Registry::Global().counter("trainer.epochs");
+  static metrics::Counter* batches_counter =
+      metrics::Registry::Global().counter("trainer.batches");
+  static metrics::Gauge* train_loss_gauge =
+      metrics::Registry::Global().gauge("trainer.last_train_loss");
+  static metrics::Gauge* val_loss_gauge =
+      metrics::Registry::Global().gauge("trainer.last_val_loss");
+  static metrics::Histogram* epoch_seconds_hist =
+      metrics::Registry::Global().histogram("trainer.epoch_seconds");
+
   for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    trace::TraceSpan epoch_span("trainer.epoch");
     rng->Shuffle(&order);
     double epoch_loss = 0.0;
     int64_t num_batches = 0;
@@ -108,7 +124,12 @@ Result<TrainStats> TriadTrainer::Fit(
     if (val_count >= 2) {
       Var val_loss = BatchLoss(*model, val_windows, period, rng);
       stats.epoch_val_loss.push_back(val_loss.value()[0]);
+      val_loss_gauge->Set(stats.epoch_val_loss.back());
     }
+    epochs_counter->Increment();
+    batches_counter->Increment(static_cast<uint64_t>(num_batches));
+    train_loss_gauge->Set(stats.epoch_train_loss.back());
+    epoch_seconds_hist->Observe(epoch_span.Stop());
   }
   return stats;
 }

@@ -25,10 +25,18 @@ VotingResult RunVoting(int64_t n, const std::vector<WindowVote>& windows,
     double weight = 1.0;
     if (options.weighting == VoteWeighting::kDistanceWeighted) {
       // Z-norm distances scale with sqrt(length); 2*sqrt(m) is the maximum,
-      // so this weight lies in [0, 1] and favors decisive discords.
+      // so this weight lies in [0, 1] and favors decisive discords. The
+      // distance may be non-finite: +inf is the flat-window sentinel (a
+      // maximally decisive discord → weight 1, via the clamp), while NaN
+      // means the measurement failed — it would survive std::clamp (NaN in,
+      // NaN out) and poison every vote it touches, so it votes 0.
       weight = d.distance / (2.0 * std::sqrt(static_cast<double>(
                                        std::max<int64_t>(1, d.length))));
-      weight = std::clamp(weight, 0.0, 1.0);
+      if (std::isnan(weight)) {
+        weight = 0.0;
+      } else {
+        weight = std::clamp(weight, 0.0, 1.0);
+      }
     }
     for (int64_t i = std::max<int64_t>(0, d.position);
          i < std::min(n, d.position + d.length); ++i) {
@@ -80,9 +88,16 @@ VotingResult RunVoting(int64_t n, const std::vector<WindowVote>& windows,
   if (!any_inside && !windows.empty()) {
     result.exception_applied = true;
     std::fill(result.predictions.begin(), result.predictions.end(), 0);
-    const WindowVote& w = windows.front();
-    for (int64_t i = std::max<int64_t>(0, w.start);
-         i < std::min(n, w.start + w.length); ++i) {
+    // Windows arrive in nomination order, not suspicion order (see
+    // voting.h) — trust the one with the highest score. Strict > keeps the
+    // first-listed window on ties (and when every score is default 0), and
+    // ignores NaN scores after the first slot.
+    const WindowVote* best = &windows.front();
+    for (const WindowVote& w : windows) {
+      if (w.score > best->score) best = &w;
+    }
+    for (int64_t i = std::max<int64_t>(0, best->start);
+         i < std::min(n, best->start + best->length); ++i) {
       result.predictions[static_cast<size_t>(i)] = 1;
     }
   }

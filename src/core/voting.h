@@ -32,9 +32,18 @@ struct VotingOptions {
 };
 
 /// \brief One nominated window to vote for.
+///
+/// Ordering contract: callers pass nominated windows in **domain /
+/// nomination order**, not suspicion order — RunVoting must not infer
+/// priority from position. `score` carries the nominator's suspicion
+/// measure (the detector uses the MASS deviation from the training data;
+/// higher = more suspicious); the exception rule uses it to pick which
+/// window to trust. Windows with equal (or all-default) scores fall back
+/// to first-listed order.
 struct WindowVote {
   int64_t start = 0;
   int64_t length = 0;
+  double score = 0.0;
 };
 
 /// \brief Output of the voting stage.
@@ -47,8 +56,14 @@ struct VotingResult {
 
 /// \brief Accumulates window and discord votes over `n` points, derives the
 /// threshold, and applies the exception rule of Section IV-G: when no
-/// predicted point falls inside any nominated window, the (first) window is
-/// trusted wholesale.
+/// predicted point falls inside any nominated window, the most suspicious
+/// nominated window (highest WindowVote::score; ties and all-default
+/// scores fall back to the first listed) is trusted wholesale.
+///
+/// Non-finite discord distances (the +inf flat-window sentinel, or NaN
+/// from upstream numerical failure) never poison the vote array: under
+/// kDistanceWeighted a +inf distance clamps to the maximum weight 1 and a
+/// NaN distance contributes nothing.
 VotingResult RunVoting(int64_t n, const std::vector<WindowVote>& windows,
                        const std::vector<discord::Discord>& discords,
                        const VotingOptions& options);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/metrics.h"
+
 namespace triad::data {
 namespace {
 
@@ -214,10 +216,25 @@ SanitizeReport ScanSeries(const std::vector<double>& series,
 
 Result<Sanitized> SanitizeSeries(const std::vector<double>& series,
                                  const SanitizeOptions& options) {
+  // Ingest-gate health counters (ARCHITECTURE.md §6): how many series made
+  // it through, how many were turned away, and how much repair the gate is
+  // doing — a rising repair rate is the early warning for upstream decay.
+  static metrics::Counter* accepted =
+      metrics::Registry::Global().counter("sanitize.accepted");
+  static metrics::Counter* rejected =
+      metrics::Registry::Global().counter("sanitize.rejected");
+  static metrics::Counter* repaired =
+      metrics::Registry::Global().counter("sanitize.repaired_samples");
+
   Sanitized out;
   Status status = Analyze(series, options, options.repair, &out.report,
                           &out.series);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    rejected->Increment();
+    return status;
+  }
+  accepted->Increment();
+  repaired->Increment(static_cast<uint64_t>(out.report.repaired_samples));
   if (!options.repair) out.series = series;  // analysis must not leak repairs
   return out;
 }

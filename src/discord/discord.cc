@@ -5,8 +5,10 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "discord/mass.h"
 
 namespace triad::discord {
@@ -283,6 +285,11 @@ struct LengthOutcome {
 
 LengthOutcome SearchOneLength(const std::vector<double>& series, int64_t m,
                               Phase2 phase2) {
+  // One span per sweep length: with ~dozens of lengths per MERLIN call the
+  // trace shows exactly which length regressed, not just "discord got slow".
+  trace::TraceSpan length_span("merlin.length_search");
+  static metrics::Counter* restarts_counter =
+      metrics::Registry::Global().counter("merlin.restarts");
   constexpr int kMaxRetries = 400;
   LengthOutcome out;
   const double r_cap = 2.0 * std::sqrt(static_cast<double>(m));
@@ -299,6 +306,7 @@ LengthOutcome SearchOneLength(const std::vector<double>& series, int64_t m,
       return out;
     }
     ++out.stats.restarts;
+    restarts_counter->Increment();
     ++retries;
     r *= 0.5;
     if (r < 1e-9) break;
@@ -316,6 +324,7 @@ Result<MerlinResult> RunMerlin(const std::vector<double>& series,
   if (2 * min_length > n) {
     return Status::InvalidArgument("series too short for MERLIN range");
   }
+  trace::TraceSpan sweep_span("merlin.sweep");
 
   std::vector<int64_t> lengths;
   for (int64_t m = min_length; m <= max_length; m += length_step) {

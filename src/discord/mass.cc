@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "signal/fft.h"
@@ -48,6 +49,11 @@ std::vector<double> MassDistanceProfile(const std::vector<double>& series,
   const int64_t m = static_cast<int64_t>(query.size());
   TRIAD_CHECK(m >= 1 && m <= n);
   const int64_t count = n - m + 1;
+  // MassDistanceProfile is called from pool workers (selection stage,
+  // Orchard index build); Counter increments are exact under concurrency.
+  static metrics::Counter* profiles_counter =
+      metrics::Registry::Global().counter("mass.profiles");
+  profiles_counter->Increment();
 
   double q_mean = 0.0;
   for (double v : query) q_mean += v;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "discord/mass.h"
@@ -55,8 +56,11 @@ Result<MatrixProfile> Stomp(const std::vector<double>& series, int64_t m) {
 
   // Chunks of rows; each chunk seeds its first row with an FFT pass (chunk
   // 0 reuses row 0) and applies the O(1) sliding update within the chunk.
+  static metrics::Counter* rows_counter =
+      metrics::Registry::Global().counter("stomp.rows");
   ParallelFor(0, count, kStompChunkRows, [&](int64_t row_begin,
                                              int64_t row_end) {
+    rows_counter->Increment(static_cast<uint64_t>(row_end - row_begin));
     std::vector<double> qt =
         row_begin == 0 ? first_row : FftRow(row_begin);
     std::vector<double> dist(static_cast<size_t>(count));

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/env.h"
@@ -151,6 +152,35 @@ TEST(StatsTest, Quantile) {
   EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
   EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+// Regression (observability PR): empty input and out-of-range q used to
+// TRIAD_CHECK-crash, and both are reachable from user config through
+// ThresholdRule::kQuantile. Table-driven guarded-fallback contract.
+TEST(StatsTest, QuantileGuardedFallbacks) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  struct Case {
+    const char* name;
+    std::vector<double> input;
+    double q;
+    double want;
+  };
+  const Case cases[] = {
+      {"empty input", {}, 0.5, 0.0},
+      {"empty input, bad q", {}, 7.0, 0.0},
+      {"q below range clamps to min", v, -0.5, 1.0},
+      {"q above range clamps to max", v, 1.5, 5.0},
+      {"q -inf clamps to min", v, -std::numeric_limits<double>::infinity(),
+       1.0},
+      {"q +inf clamps to max", v, std::numeric_limits<double>::infinity(),
+       5.0},
+      {"NaN q treated as 0", v, nan, 1.0},
+      {"single element, any q", {42.0}, 0.3, 42.0},
+  };
+  for (const Case& c : cases) {
+    EXPECT_DOUBLE_EQ(Quantile(c.input, c.q), c.want) << c.name;
+  }
 }
 
 TEST(StatsTest, ArgMinMax) {

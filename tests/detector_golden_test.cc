@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/simd.h"
+#include "common/trace.h"
 #include "core/detector.h"
 #include "data/ucr_generator.h"
 
@@ -253,6 +255,49 @@ TEST(DetectorGoldenTest, TraceMatchesGoldenOnEveryTier) {
   const simd::Level best = simd::HighestSupportedLevel();
   if (best != simd::Level::kScalar) {
     ExpectMatchesGolden(RunPipeline(best), golden, simd::LevelName(best));
+  }
+}
+
+// The observability invariant (ARCHITECTURE.md §6): metrics and trace
+// recording never feed back into computation. The pipeline trace must be
+// BIT-identical — exact EXPECT_EQ on every double, no tolerance — with
+// metrics on and off, on every dispatch tier this host supports.
+void ExpectBitIdentical(const GoldenTrace& on, const GoldenTrace& off,
+                        const std::string& tier) {
+  SCOPED_TRACE("tier=" + tier);
+  EXPECT_EQ(on.window_length, off.window_length);
+  EXPECT_EQ(on.stride, off.stride);
+  EXPECT_EQ(on.selected_window, off.selected_window);
+  EXPECT_EQ(on.candidate_windows, off.candidate_windows);
+  EXPECT_EQ(on.search_begin, off.search_begin);
+  EXPECT_EQ(on.search_end, off.search_end);
+  EXPECT_EQ(on.vote_threshold, off.vote_threshold);
+  EXPECT_EQ(on.exception_applied, off.exception_applied);
+  EXPECT_EQ(on.discord_positions, off.discord_positions);
+  EXPECT_EQ(on.discord_lengths, off.discord_lengths);
+  EXPECT_EQ(on.discord_distances, off.discord_distances);
+  EXPECT_EQ(on.predictions, off.predictions);
+  EXPECT_EQ(on.votes, off.votes);
+}
+
+TEST(DetectorGoldenTest, MetricsOnOffLeavesTraceBitIdenticalOnEveryTier) {
+  std::vector<simd::Level> tiers = {simd::Level::kScalar};
+  const simd::Level best = simd::HighestSupportedLevel();
+  if (best != simd::Level::kScalar) tiers.push_back(best);
+
+  for (simd::Level tier : tiers) {
+    GoldenTrace with_metrics, without_metrics;
+    {
+      metrics::ScopedEnable enable(true);
+      with_metrics = RunPipeline(tier);
+      // Recording actually happened: the stage spans reached the buffer.
+      EXPECT_FALSE(trace::TraceBuffer::Global().Snapshot().empty());
+    }
+    {
+      metrics::ScopedEnable disable(false);
+      without_metrics = RunPipeline(tier);
+    }
+    ExpectBitIdentical(with_metrics, without_metrics, simd::LevelName(tier));
   }
 }
 

@@ -1,0 +1,353 @@
+// Unit tests for the observability layer (src/common/metrics.{h,cc},
+// src/common/trace.{h,cc}; ARCHITECTURE.md §6): exactness of concurrent
+// counter updates, the TRIAD_METRICS off-gate contract (nothing is ever
+// recorded), ring-buffer eviction keeping the newest spans, and the
+// text/JSON exporters. Also the TSan target for the record paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/trace.h"
+
+namespace triad {
+namespace {
+
+// Every test manipulates the process-global registry/trace buffer, so each
+// starts from a clean slate under an explicit enable override.
+void ResetObservability() {
+  metrics::Registry::Global().ResetAll();
+  trace::TraceBuffer::Global().Clear();
+}
+
+TEST(MetricsTest, CounterIncrementsAndResets) {
+  metrics::ScopedEnable enable(true);
+  metrics::Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrementsFromParallelForSumExactly) {
+  metrics::ScopedEnable enable(true);
+  metrics::Counter counter;
+  // A dedicated multi-lane pool: the default pool may have one lane on
+  // small CI hosts, which would make this test vacuous.
+  ThreadPool pool(4);
+  constexpr int64_t kItems = 100000;
+  ParallelFor(
+      0, kItems, /*grain=*/64,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) counter.Increment();
+      },
+      &pool);
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kItems));
+}
+
+TEST(MetricsTest, GaugeStoresDoublesExactly) {
+  metrics::ScopedEnable enable(true);
+  metrics::Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(3.25);
+  EXPECT_EQ(gauge.value(), 3.25);
+  gauge.Set(-1e300);
+  EXPECT_EQ(gauge.value(), -1e300);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsTest, HistogramBucketBoundsAreLogSpaced) {
+  EXPECT_DOUBLE_EQ(metrics::Histogram::BucketUpperBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(metrics::Histogram::BucketUpperBound(1), 2e-6);
+  EXPECT_DOUBLE_EQ(metrics::Histogram::BucketUpperBound(10), 1024e-6);
+  EXPECT_TRUE(std::isinf(metrics::Histogram::BucketUpperBound(
+      metrics::Histogram::kNumBuckets - 1)));
+}
+
+TEST(MetricsTest, HistogramObservationsLandInTheRightBuckets) {
+  metrics::ScopedEnable enable(true);
+  metrics::Histogram hist;
+  hist.Observe(0.5e-6);  // bucket 0
+  hist.Observe(1.5e-6);  // bucket 1
+  hist.Observe(3e-6);    // bucket 2
+  hist.Observe(1e9);     // overflow bucket
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(metrics::Histogram::kNumBuckets - 1), 1u);
+  EXPECT_NEAR(hist.sum(), 0.5e-6 + 1.5e-6 + 3e-6 + 1e9, 1e-3);
+}
+
+TEST(MetricsTest, HistogramNonFiniteObservationsCountButDoNotPoisonSum) {
+  metrics::ScopedEnable enable(true);
+  metrics::Histogram hist;
+  hist.Observe(std::numeric_limits<double>::quiet_NaN());
+  hist.Observe(std::numeric_limits<double>::infinity());
+  hist.Observe(2.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 2.0);  // finite observations only
+}
+
+TEST(MetricsTest, ConcurrentHistogramSumIsExactForEqualValues) {
+  metrics::ScopedEnable enable(true);
+  metrics::Histogram hist;
+  ThreadPool pool(4);
+  constexpr int64_t kItems = 20000;
+  // 0.5 sums exactly in binary; the CAS loop must lose no update.
+  ParallelFor(
+      0, kItems, /*grain=*/64,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) hist.Observe(0.5);
+      },
+      &pool);
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kItems));
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 * static_cast<double>(kItems));
+}
+
+TEST(MetricsTest, DisabledModeRecordsNothing) {
+  metrics::ScopedEnable disable(false);
+  EXPECT_FALSE(metrics::Enabled());
+  metrics::Counter counter;
+  metrics::Gauge gauge;
+  metrics::Histogram hist;
+  counter.Increment(7);
+  gauge.Set(1.5);
+  hist.Observe(0.1);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0.0);
+
+  trace::TraceBuffer buffer(8);
+  buffer.Record("span", 0.0, 1.0);
+  EXPECT_EQ(buffer.total_recorded(), 0u);
+  EXPECT_TRUE(buffer.Snapshot().empty());
+}
+
+TEST(MetricsTest, ScopedEnableNestsAndRestores) {
+  metrics::ScopedEnable outer(false);
+  EXPECT_FALSE(metrics::Enabled());
+  {
+    metrics::ScopedEnable inner(true);
+    EXPECT_TRUE(metrics::Enabled());
+  }
+  EXPECT_FALSE(metrics::Enabled());
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointersPerName) {
+  metrics::ScopedEnable enable(true);
+  ResetObservability();
+  metrics::Counter* a = metrics::Registry::Global().counter("test.stable");
+  metrics::Counter* b = metrics::Registry::Global().counter("test.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, metrics::Registry::Global().counter("test.other"));
+}
+
+TEST(MetricsTest, ExportTextIsSortedAndComplete) {
+  metrics::ScopedEnable enable(true);
+  ResetObservability();
+  metrics::Registry::Global().counter("test.a")->Increment(3);
+  metrics::Registry::Global().gauge("test.b")->Set(1.5);
+  metrics::Registry::Global().histogram("test.c")->Observe(2.0);
+  const std::string text = metrics::Registry::Global().ExportText();
+  EXPECT_NE(text.find("counter test.a 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge test.b 1.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("histogram test.c count 1 sum 2"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsTest, ExportJsonMembersFormsAValidDocumentBody) {
+  metrics::ScopedEnable enable(true);
+  ResetObservability();
+  metrics::Registry::Global().counter("test.j")->Increment();
+  metrics::Registry::Global().gauge("test.g")->Set(0.25);
+  metrics::Registry::Global().histogram("test.h")->Observe(1e-5);
+  std::string doc = "{";
+  doc += metrics::Registry::Global().ExportJsonMembers();
+  doc += "}";
+  // Structural sanity without a JSON parser: balanced braces/brackets and
+  // the three member keys present.
+  int64_t braces = 0, brackets = 0;
+  for (char c : doc) {
+    braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+    brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"test.j\": 1"), std::string::npos) << doc;
+}
+
+TEST(MetricsTest, NonFiniteGaugeExportsAsZeroInJson) {
+  metrics::ScopedEnable enable(true);
+  ResetObservability();
+  metrics::Registry::Global()
+      .gauge("test.nonfinite")
+      ->Set(std::numeric_limits<double>::quiet_NaN());
+  const std::string doc = metrics::Registry::Global().ExportJsonMembers();
+  EXPECT_NE(doc.find("\"test.nonfinite\": 0"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("nan"), std::string::npos) << doc;  // no bare nan token
+}
+
+TEST(TraceTest, SpanRecordsIntoGlobalBuffer) {
+  metrics::ScopedEnable enable(true);
+  ResetObservability();
+  {
+    trace::TraceSpan span("test.span");
+  }
+  const auto spans = trace::TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test.span");
+  EXPECT_GE(spans[0].duration_seconds, 0.0);
+}
+
+TEST(TraceTest, StopRecordsOnceAndReturnsDuration) {
+  metrics::ScopedEnable enable(true);
+  ResetObservability();
+  trace::TraceSpan span("test.stop");
+  const double d1 = span.Stop();
+  const double d2 = span.Stop();  // no-op, still returns elapsed
+  EXPECT_GE(d1, 0.0);
+  EXPECT_GE(d2, d1);
+  EXPECT_EQ(trace::TraceBuffer::Global().total_recorded(), 1u);
+}
+
+TEST(TraceTest, StopAlwaysMeasuresEvenWhenDisabled) {
+  // The compatibility contract: DetectionResult stage-seconds fields are
+  // fed by Stop(), so the measurement must survive TRIAD_METRICS=off.
+  metrics::ScopedEnable disable(false);
+  trace::TraceSpan span("test.measure");
+  EXPECT_GE(span.Stop(), 0.0);
+  EXPECT_GE(span.ElapsedSeconds(), 0.0);
+}
+
+TEST(TraceTest, RingBufferEvictsOldestKeepsNewest) {
+  metrics::ScopedEnable enable(true);
+  trace::TraceBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) {
+    const std::string name = "span" + std::to_string(i);
+    buffer.Record(name.c_str(), static_cast<double>(i), 1.0);
+  }
+  EXPECT_EQ(buffer.total_recorded(), 10u);
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-to-newest order, and strictly the newest four survive.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_STREQ(spans[static_cast<size_t>(i)].name,
+                 ("span" + std::to_string(6 + i)).c_str());
+    EXPECT_EQ(spans[static_cast<size_t>(i)].sequence,
+              static_cast<uint64_t>(6 + i));
+  }
+}
+
+TEST(TraceTest, ClearResetsRetainedAndSequence) {
+  metrics::ScopedEnable enable(true);
+  trace::TraceBuffer buffer(4);
+  buffer.Record("a", 0.0, 1.0);
+  buffer.Clear();
+  EXPECT_EQ(buffer.total_recorded(), 0u);
+  EXPECT_TRUE(buffer.Snapshot().empty());
+  buffer.Record("b", 0.0, 1.0);
+  EXPECT_EQ(buffer.Snapshot()[0].sequence, 0u);
+}
+
+TEST(TraceTest, LongSpanNamesAreTruncatedNotOverflowed) {
+  metrics::ScopedEnable enable(true);
+  trace::TraceBuffer buffer(2);
+  const std::string longname(200, 'x');
+  buffer.Record(longname.c_str(), 0.0, 1.0);
+  const auto spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(std::string(spans[0].name),
+            std::string(static_cast<size_t>(trace::kMaxSpanNameLength), 'x'));
+}
+
+TEST(TraceTest, ConcurrentRecordsLoseNothing) {
+  metrics::ScopedEnable enable(true);
+  trace::TraceBuffer buffer(100000);
+  ThreadPool pool(4);
+  constexpr int64_t kSpans = 20000;
+  ParallelFor(
+      0, kSpans, /*grain=*/64,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) buffer.Record("t", 0.0, 1.0);
+      },
+      &pool);
+  EXPECT_EQ(buffer.total_recorded(), static_cast<uint64_t>(kSpans));
+  EXPECT_EQ(buffer.Snapshot().size(), static_cast<size_t>(kSpans));
+}
+
+TEST(TraceTest, AggregateSpansGroupsByNameSorted) {
+  std::vector<trace::SpanRecord> spans(4);
+  const auto fill = [](trace::SpanRecord* s, const char* name, double d) {
+    std::snprintf(s->name, sizeof(s->name), "%s", name);
+    s->duration_seconds = d;
+  };
+  fill(&spans[0], "b", 1.0);
+  fill(&spans[1], "a", 2.0);
+  fill(&spans[2], "b", 3.0);
+  fill(&spans[3], "a", 4.0);
+  const auto stats = trace::AggregateSpans(spans);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "a");
+  EXPECT_EQ(stats[0].count, 2);
+  EXPECT_DOUBLE_EQ(stats[0].total_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(stats[0].min_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(stats[0].max_seconds, 4.0);
+  EXPECT_EQ(stats[1].name, "b");
+  EXPECT_DOUBLE_EQ(stats[1].total_seconds, 4.0);
+}
+
+TEST(TraceTest, WriteObservabilityJsonIsStructurallyBalanced) {
+  metrics::ScopedEnable enable(true);
+  ResetObservability();
+  metrics::Registry::Global().counter("test.doc")->Increment();
+  {
+    trace::TraceSpan span("test.doc_span");
+  }
+  std::ostringstream os;
+  trace::WriteObservabilityJson(os, "unit \"quoted\" name", 1.25,
+                                {{"extra_key", 2.5}});
+  const std::string doc = os.str();
+  int64_t braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (c == '"' && (i == 0 || doc[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+    brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(doc.find("\"schema\": \"triad-observability-v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"wall_seconds\": 1.25"), std::string::npos);
+  EXPECT_NE(doc.find("\"simd_tier\": \""), std::string::npos);
+  EXPECT_NE(doc.find("\"threads\": "), std::string::npos);
+  EXPECT_NE(doc.find("\"test.doc_span\""), std::string::npos);
+  EXPECT_NE(doc.find("\"extra_key\": 2.5"), std::string::npos);
+  EXPECT_NE(doc.find("\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace triad

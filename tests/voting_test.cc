@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/voting.h"
 
 namespace triad::core {
@@ -157,6 +160,71 @@ TEST(VotingTest, MultipleWindowsAllVote) {
   EXPECT_DOUBLE_EQ(r.votes[2], 1.0);
   EXPECT_DOUBLE_EQ(r.votes[22], 1.0);
   EXPECT_DOUBLE_EQ(r.votes[10], 0.0);
+}
+
+// Regression (observability PR): the exception rule used to trust
+// windows.front() unconditionally, but windows arrive in nomination order,
+// not suspicion order. With the second window carrying the higher score,
+// the old code flagged the wrong span.
+TEST(VotingTest, ExceptionTrustsMostSuspiciousWindow) {
+  // Discord mass far away from both windows, so no prediction lands inside
+  // either and the exception rule fires.
+  std::vector<discord::Discord> discords;
+  for (int i = 0; i < 4; ++i) discords.push_back(MakeDiscord(40, 6, 2.0));
+  const VotingResult r = RunVoting(
+      60, {{5, 8, /*score=*/1.0}, {20, 8, /*score=*/3.5}}, discords,
+      VotingOptions{});
+  ASSERT_TRUE(r.exception_applied);
+  for (int64_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(r.predictions[static_cast<size_t>(i)],
+              (i >= 20 && i < 28) ? 1 : 0)
+        << i;
+  }
+}
+
+TEST(VotingTest, ExceptionTiesFallBackToFirstWindow) {
+  std::vector<discord::Discord> discords;
+  for (int i = 0; i < 4; ++i) discords.push_back(MakeDiscord(40, 6, 2.0));
+  // Equal scores (including the all-default-0 case of legacy callers).
+  const VotingResult r = RunVoting(60, {{5, 8}, {20, 8}}, discords,
+                                   VotingOptions{});
+  ASSERT_TRUE(r.exception_applied);
+  for (int64_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(r.predictions[static_cast<size_t>(i)],
+              (i >= 5 && i < 13) ? 1 : 0)
+        << i;
+  }
+}
+
+// Regression (observability PR): a NaN discord distance under
+// kDistanceWeighted survived std::clamp (NaN in, NaN out), poisoned every
+// vote it touched, and produced a NaN threshold with all-zero predictions.
+TEST(VotingTest, NanDiscordDistanceDoesNotPoisonVotes) {
+  VotingOptions options;
+  options.weighting = VoteWeighting::kDistanceWeighted;
+  const VotingResult r = RunVoting(
+      30, {{5, 5, 1.0}},
+      {MakeDiscord(6, 4, std::numeric_limits<double>::quiet_NaN()),
+       MakeDiscord(20, 4, 4.0 /* weight 1 */)},
+      options);
+  for (double v : r.votes) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(std::isfinite(r.threshold));
+  // The NaN discord votes 0: point 6 keeps only the window's vote.
+  EXPECT_DOUBLE_EQ(r.votes[6], 1.0);
+  EXPECT_DOUBLE_EQ(r.votes[20], 1.0);
+}
+
+// The +inf flat-window sentinel (PR 3) can reach the voting stage: it is a
+// maximally decisive discord and must clamp to weight 1, not poison votes.
+TEST(VotingTest, InfiniteDiscordDistanceClampsToMaxWeight) {
+  VotingOptions options;
+  options.weighting = VoteWeighting::kDistanceWeighted;
+  const VotingResult r = RunVoting(
+      30, {},
+      {MakeDiscord(10, 4, std::numeric_limits<double>::infinity())}, options);
+  for (double v : r.votes) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_DOUBLE_EQ(r.votes[10], 1.0);
+  EXPECT_DOUBLE_EQ(r.votes[5], 0.0);
 }
 
 }  // namespace
