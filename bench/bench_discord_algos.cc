@@ -5,12 +5,19 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "discord/discord.h"
 #include "discord/mass.h"
 #include "discord/stomp.h"
+#include "signal/fft_plan.h"
 
 namespace triad::discord {
 namespace {
@@ -108,7 +115,129 @@ void BM_MerlinRestrictedRegion(benchmark::State& state) {
 }
 BENCHMARK(BM_MerlinRestrictedRegion);
 
+// A noisier series (sigma 0.1) with the anomaly sliced out: with no true
+// discord present, nearest-neighbour distances bunch together, the range
+// ladder descends further, and DRAG's phases do real pruning work. This is
+// the adversarial end of the sweep — the clean sine above is nearly free
+// by comparison — and the workload where the amortization stack (FFT plan
+// cache, series-spectrum reuse, reference-index pruning; ARCHITECTURE.md
+// §7) is measured end to end.
+std::vector<double> NoisySweepSeries() {
+  Rng rng(3);
+  std::vector<double> x(8000);
+  for (size_t t = 0; t < x.size(); ++t) {
+    x[t] = std::sin(2.0 * kPi * static_cast<double>(t) / 50.0) +
+           rng.Normal(0.0, 0.1);
+  }
+  return std::vector<double>(x.begin(), x.begin() + 4000);
+}
+
+void BM_MerlinNoisySweep(benchmark::State& state) {
+  const std::vector<double> x = NoisySweepSeries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Merlin(x, 40, 60, 5));
+  }
+}
+BENCHMARK(BM_MerlinNoisySweep)->Unit(benchmark::kMillisecond);
+
+// --json mode: the plan-cache A/B experiment (ARCHITECTURE.md §7) as a
+// machine-readable record. Each workload runs once with TRIAD_FFT_PLAN
+// forced off (the reference from-scratch FFT/MASS paths) and once with the
+// plan cache on, under the observability layer, and the off/on wall times,
+// speedups, and cache hit/miss counters land in BENCH_discord.json
+// (schema triad-observability-v1; see bench/README.md). Fixed iteration
+// counts keep the record cheap and the workload identical across runs.
+int RunJsonMode() {
+  metrics::ScopedEnable enable(true);
+  metrics::Registry::Global().ResetAll();
+  trace::TraceBuffer::Global().Clear();
+  Timer wall;
+
+  const std::vector<double> x8k = Workload(8000);
+  const std::vector<double> query(x8k.begin(), x8k.begin() + 100);
+  const std::vector<double> x4k = NoisySweepSeries();
+  constexpr int kMassIters = 100;
+  constexpr int kMerlinIters = 1;
+
+  // MASS distance profiles against a fixed 8k series: with the cache off
+  // every call re-plans and re-transforms the series; with it on the plan
+  // tables and the series spectrum are built once and reused.
+  double mass_off, mass_on;
+  {
+    signal::ScopedPlanCache plan(false);
+    trace::TraceSpan span("bench.mass_profile_plan_off");
+    for (int iter = 0; iter < kMassIters; ++iter) {
+      benchmark::DoNotOptimize(MassDistanceProfile(x8k, query));
+    }
+    mass_off = span.Stop();
+  }
+  {
+    signal::ScopedPlanCache plan(true);
+    trace::TraceSpan span("bench.mass_profile_plan_on");
+    for (int iter = 0; iter < kMassIters; ++iter) {
+      benchmark::DoNotOptimize(MassDistanceProfile(x8k, query));
+    }
+    mass_on = span.Stop();
+  }
+
+  // The MERLIN length sweep (the detector's discord workload): every
+  // length's profiles hit the same per-series spectrum and the same
+  // per-padded-size plans.
+  double merlin_off, merlin_on;
+  {
+    signal::ScopedPlanCache plan(false);
+    trace::TraceSpan span("bench.merlin_sweep_plan_off");
+    for (int iter = 0; iter < kMerlinIters; ++iter) {
+      auto result = Merlin(x4k, 40, 60, 5);
+      TRIAD_CHECK(result.ok());
+      benchmark::DoNotOptimize(result->discords);
+    }
+    merlin_off = span.Stop();
+  }
+  {
+    signal::ScopedPlanCache plan(true);
+    trace::TraceSpan span("bench.merlin_sweep_plan_on");
+    for (int iter = 0; iter < kMerlinIters; ++iter) {
+      auto result = Merlin(x4k, 40, 60, 5);
+      TRIAD_CHECK(result.ok());
+      benchmark::DoNotOptimize(result->discords);
+    }
+    merlin_on = span.Stop();
+  }
+
+  const auto counter = [](const char* name) {
+    return static_cast<double>(
+        metrics::Registry::Global().counter(name)->value());
+  };
+  bench::WriteBenchJson(
+      "discord", wall.ElapsedSeconds(),
+      {{"mass_profile_plan_off_seconds", mass_off},
+       {"mass_profile_plan_on_seconds", mass_on},
+       {"mass_profile_speedup", mass_off / mass_on},
+       {"merlin_sweep_plan_off_seconds", merlin_off},
+       {"merlin_sweep_plan_on_seconds", merlin_on},
+       {"merlin_sweep_speedup", merlin_off / merlin_on},
+       {"fft_plan_hits", counter("fft.plan_hits")},
+       {"fft_plan_misses", counter("fft.plan_misses")},
+       {"mass_spectrum_hits", counter("mass.spectrum_hits")},
+       {"mass_spectrum_misses", counter("mass.spectrum_misses")}});
+  return 0;
+}
+
 }  // namespace
 }  // namespace triad::discord
 
-BENCHMARK_MAIN();
+// google-benchmark's BENCHMARK_MAIN rejects flags it does not know, so the
+// --json mode is dispatched before benchmark::Initialize ever sees argv.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == std::string("--json")) {
+      return triad::discord::RunJsonMode();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -177,6 +177,8 @@ Status TriadDetector::Fit(const std::vector<double>& train_series) {
   auto stats = trainer.Fit(windows, period_, model_.get(), &rng);
   TRIAD_RETURN_NOT_OK(stats.status());
   train_stats_ = std::move(stats).value();
+  train_mass_ =
+      std::make_shared<const discord::MassContext>(train_series_);
   return Status::OK();
 }
 
@@ -269,9 +271,10 @@ Result<DetectionResult> TriadDetector::Detect(
   ParallelFor(0, static_cast<int64_t>(candidates.size()), /*grain=*/1,
               [&](int64_t begin, int64_t end) {
                 for (int64_t c = begin; c < end; ++c) {
+                  // The fitted context amortizes the train-side FFT and
+                  // stats across every candidate scan (ARCHITECTURE.md §7).
                   const std::vector<double> profile =
-                      discord::MassDistanceProfile(
-                          train_series_,
+                      train_mass_->DistanceProfile(
                           windows[static_cast<size_t>(
                               candidates[static_cast<size_t>(c)])]);
                   deviation[static_cast<size_t>(c)] =
@@ -402,8 +405,8 @@ Result<DetectionResult> TriadDetector::DetectEvents(
                 for (int64_t c = begin; c < end; ++c) {
                   const int64_t cand = pooled[static_cast<size_t>(c)];
                   const std::vector<double> profile =
-                      discord::MassDistanceProfile(
-                          train_series_, windows[static_cast<size_t>(cand)]);
+                      train_mass_->DistanceProfile(
+                          windows[static_cast<size_t>(cand)]);
                   ranked[static_cast<size_t>(c)] = {
                       -*std::min_element(profile.begin(), profile.end()),
                       cand};
@@ -647,6 +650,8 @@ Result<TriadDetector> TriadDetector::Load(const std::string& path) {
   in.read(reinterpret_cast<char*>(detector.train_series_.data()),
           static_cast<std::streamsize>(train_size * sizeof(double)));
   if (!in) return Status::IoError("checkpoint truncated: " + path);
+  detector.train_mass_ =
+      std::make_shared<const discord::MassContext>(detector.train_series_);
 
   Rng rng(config.seed);
   detector.model_ = std::make_unique<TriadModel>(config, &rng);

@@ -13,6 +13,7 @@
 #include "core/trainer.h"
 #include "data/sanitize.h"
 #include "discord/discord.h"
+#include "discord/mass.h"
 
 namespace triad::core {
 
@@ -140,6 +141,11 @@ class TriadDetector {
   std::unique_ptr<TriadModel> model_;
   TrainStats train_stats_;
   std::vector<double> train_series_;
+  /// MASS amortization context over train_series_, built by Fit/Load and
+  /// shared by every Detect's candidate-deviation scans (one series-side
+  /// FFT + prefix-sum pair per fitted detector instead of one per scanned
+  /// candidate). shared_ptr keeps it valid across the move out of Load.
+  std::shared_ptr<const discord::MassContext> train_mass_;
   int64_t period_ = 0;
   int64_t window_length_ = 0;
   int64_t stride_ = 0;

@@ -9,27 +9,40 @@
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "signal/fft.h"
+#include "signal/fft_plan.h"
 #include "signal/windows.h"
 
 namespace triad::discord {
+namespace {
 
-RollingStats ComputeRollingStats(const std::vector<double>& series,
-                                 int64_t m) {
+using signal::Complex;
+
+// Builds the prefix sums ComputeRollingStats and MassContext share.
+void BuildPrefixSums(const std::vector<double>& series,
+                     std::vector<double>* prefix,
+                     std::vector<double>* prefix_sq) {
   const int64_t n = static_cast<int64_t>(series.size());
+  prefix->assign(static_cast<size_t>(n) + 1, 0.0);
+  prefix_sq->assign(static_cast<size_t>(n) + 1, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    (*prefix)[static_cast<size_t>(i) + 1] =
+        (*prefix)[static_cast<size_t>(i)] + series[static_cast<size_t>(i)];
+    (*prefix_sq)[static_cast<size_t>(i) + 1] =
+        (*prefix_sq)[static_cast<size_t>(i)] +
+        series[static_cast<size_t>(i)] * series[static_cast<size_t>(i)];
+  }
+}
+
+// Derives length-m rolling stats from the prefix sums; the single place
+// this arithmetic lives, so the one-shot and amortized paths cannot drift.
+RollingStats DeriveStats(const std::vector<double>& prefix,
+                         const std::vector<double>& prefix_sq, int64_t n,
+                         int64_t m) {
   TRIAD_CHECK(m >= 1 && m <= n);
   const int64_t count = n - m + 1;
   RollingStats out;
   out.mean.resize(static_cast<size_t>(count));
   out.stddev.resize(static_cast<size_t>(count));
-
-  std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
-  std::vector<double> prefix_sq(static_cast<size_t>(n) + 1, 0.0);
-  for (int64_t i = 0; i < n; ++i) {
-    prefix[static_cast<size_t>(i) + 1] = prefix[static_cast<size_t>(i)] + series[static_cast<size_t>(i)];
-    prefix_sq[static_cast<size_t>(i) + 1] =
-        prefix_sq[static_cast<size_t>(i)] +
-        series[static_cast<size_t>(i)] * series[static_cast<size_t>(i)];
-  }
   for (int64_t i = 0; i < count; ++i) {
     const double sum = prefix[static_cast<size_t>(i + m)] - prefix[static_cast<size_t>(i)];
     const double sum_sq =
@@ -43,39 +56,143 @@ RollingStats ComputeRollingStats(const std::vector<double>& series,
   return out;
 }
 
-std::vector<double> MassDistanceProfile(const std::vector<double>& series,
-                                        const std::vector<double>& query) {
+}  // namespace
+
+RollingStats ComputeRollingStats(const std::vector<double>& series,
+                                 int64_t m) {
   const int64_t n = static_cast<int64_t>(series.size());
-  const int64_t m = static_cast<int64_t>(query.size());
+  TRIAD_CHECK(m >= 1 && m <= n);
+  std::vector<double> prefix;
+  std::vector<double> prefix_sq;
+  BuildPrefixSums(series, &prefix, &prefix_sq);
+  return DeriveStats(prefix, prefix_sq, n, m);
+}
+
+MassContext::MassContext(std::vector<double> series)
+    : series_(std::move(series)) {
+  BuildPrefixSums(series_, &prefix_, &prefix_sq_);
+}
+
+RollingStats MassContext::Stats(int64_t m) const {
+  return DeriveStats(prefix_, prefix_sq_, size(), m);
+}
+
+std::shared_ptr<const std::vector<Complex>> MassContext::SpectrumFor(
+    size_t padded) const {
+  static metrics::Counter* hits_counter =
+      metrics::Registry::Global().counter("mass.spectrum_hits");
+  static metrics::Counter* misses_counter =
+      metrics::Registry::Global().counter("mass.spectrum_misses");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spectra_.find(padded);
+  if (it != spectra_.end()) {
+    hits_counter->Increment();
+    return it->second;
+  }
+  misses_counter->Increment();
+  // Identical construction to the series side of the reference FftConvolve:
+  // zero-pad, forward transform (the planned transform is bit-identical to
+  // the unplanned one). Built under the lock so concurrent first touches
+  // of one padded size never duplicate the work.
+  auto spec = std::make_shared<std::vector<Complex>>(padded, Complex(0, 0));
+  for (size_t i = 0; i < series_.size(); ++i) {
+    (*spec)[i] = Complex(series_[i], 0);
+  }
+  signal::GetFftPlan(padded)->Forward(spec.get());
+  spectra_[padded] = spec;
+  return spec;
+}
+
+void MassContext::SlidingDotsInto(const double* query, int64_t m,
+                                  double* dots) const {
+  const int64_t n = size();
   TRIAD_CHECK(m >= 1 && m <= n);
   const int64_t count = n - m + 1;
-  // MassDistanceProfile is called from pool workers (selection stage,
-  // Orchard index build); Counter increments are exact under concurrency.
+
+  if (!signal::PlanCacheEnabled()) {
+    // Escape hatch: the from-scratch reference formulation (reversed query,
+    // full two-sided FftConvolve), bit-identical by the plan contract.
+    std::vector<double> reversed(static_cast<size_t>(m));
+    for (int64_t j = 0; j < m; ++j) {
+      reversed[static_cast<size_t>(j)] = query[m - 1 - j];
+    }
+    const std::vector<double> conv = signal::FftConvolve(series_, reversed);
+    for (int64_t i = 0; i < count; ++i) {
+      dots[i] = conv[static_cast<size_t>(m - 1 + i)];
+    }
+    return;
+  }
+
+  const size_t padded = signal::NextPowerOfTwo(series_.size() +
+                                               static_cast<size_t>(m) - 1);
+  const std::shared_ptr<const signal::FftPlan> plan =
+      signal::GetFftPlan(padded);
+  const std::shared_ptr<const std::vector<Complex>> series_spec =
+      SpectrumFor(padded);
+
+  // Per-worker scratch (concurrent MASS scans share the context).
+  thread_local std::vector<Complex> fb;
+  fb.assign(padded, Complex(0, 0));
+  for (int64_t j = 0; j < m; ++j) {
+    fb[static_cast<size_t>(j)] = Complex(query[m - 1 - j], 0);
+  }
+  plan->Forward(&fb);
+  // Same operand order as the reference FftConvolve (series spectrum on
+  // the left), so the products are bit-identical.
+  for (size_t i = 0; i < padded; ++i) fb[i] = (*series_spec)[i] * fb[i];
+  plan->InverseUnnormalized(&fb);
+  const double inv = 1.0 / static_cast<double>(padded);
+  for (int64_t i = 0; i < count; ++i) {
+    dots[i] = fb[static_cast<size_t>(m - 1 + i)].real() * inv;
+  }
+}
+
+void MassContext::DistanceProfileInto(const double* query, int64_t m,
+                                      const RollingStats& stats,
+                                      double* out) const {
+  const int64_t n = size();
+  TRIAD_CHECK(m >= 1 && m <= n);
+  const int64_t count = n - m + 1;
+  TRIAD_CHECK(static_cast<int64_t>(stats.mean.size()) == count);
+  // MASS profiles run from pool workers (selection stage, Orchard index
+  // build); Counter increments are exact under concurrency.
   static metrics::Counter* profiles_counter =
       metrics::Registry::Global().counter("mass.profiles");
   profiles_counter->Increment();
 
   double q_mean = 0.0;
-  for (double v : query) q_mean += v;
+  for (int64_t j = 0; j < m; ++j) q_mean += query[j];
   q_mean /= static_cast<double>(m);
   double q_ss = 0.0;
-  for (double v : query) q_ss += (v - q_mean) * (v - q_mean);
+  for (int64_t j = 0; j < m; ++j) {
+    q_ss += (query[j] - q_mean) * (query[j] - q_mean);
+  }
   const double q_std = std::sqrt(q_ss / static_cast<double>(m));
 
-  // Sliding dot products: reverse the query and convolve.
-  std::vector<double> reversed(query.rbegin(), query.rend());
-  const std::vector<double> conv = signal::FftConvolve(series, reversed);
-  // conv[m-1 + i] = sum_j series[i+j] * query[j].
+  thread_local std::vector<double> dots;
+  dots.resize(static_cast<size_t>(count));
+  SlidingDotsInto(query, m, dots.data());
 
-  const RollingStats stats = ComputeRollingStats(series, m);
+  // The dot->distance conversion (flat guards included) is the vectorized
+  // kernel shared with STOMP.
+  simd::ZNormDistRow(dots.data(), stats.mean.data(), stats.stddev.data(),
+                     q_mean, q_std, m, out, count);
+}
 
-  // dot[i] = conv[m-1+i]; the dot->distance conversion (flat guards
-  // included) is the vectorized kernel shared with STOMP.
-  std::vector<double> profile(static_cast<size_t>(count));
-  simd::ZNormDistRow(conv.data() + (m - 1), stats.mean.data(),
-                     stats.stddev.data(), q_mean, q_std, m, profile.data(),
-                     count);
+std::vector<double> MassContext::DistanceProfile(
+    const std::vector<double>& query) const {
+  const int64_t m = static_cast<int64_t>(query.size());
+  const RollingStats stats = Stats(m);
+  std::vector<double> profile(static_cast<size_t>(size() - m + 1));
+  DistanceProfileInto(query.data(), m, stats, profile.data());
   return profile;
+}
+
+std::vector<double> MassDistanceProfile(const std::vector<double>& series,
+                                        const std::vector<double>& query) {
+  const MassContext ctx(series);
+  return ctx.DistanceProfile(query);
 }
 
 double ZNormDistanceEarlyAbandon(const double* a, double mean_a, double std_a,
@@ -112,13 +229,18 @@ std::vector<double> MatrixProfileNaive(const std::vector<double>& series,
   const int64_t exclusion = m;  // non-self match: |i - j| >= m
   std::vector<double> profile(static_cast<size_t>(count),
                               std::numeric_limits<double>::infinity());
+  // One shared context: the series spectrum and the rolling stats are
+  // loop-invariant, so they are computed once here instead of once per row,
+  // and each row's query is a pointer into the context's series instead of
+  // a fresh vector.
+  const MassContext ctx(series);
+  const RollingStats stats = ctx.Stats(m);
   // Rows are independent (each computes its own MASS profile and writes
   // only its own slot), so they fan out across the pool deterministically.
   ParallelFor(0, count, /*grain=*/1, [&](int64_t begin, int64_t end) {
+    std::vector<double> dp(static_cast<size_t>(count));
     for (int64_t i = begin; i < end; ++i) {
-      const std::vector<double> query(series.begin() + i,
-                                      series.begin() + i + m);
-      const std::vector<double> dp = MassDistanceProfile(series, query);
+      ctx.DistanceProfileInto(ctx.series().data() + i, m, stats, dp.data());
       double best = std::numeric_limits<double>::infinity();
       for (int64_t j = 0; j < count; ++j) {
         if (std::llabs(j - i) < exclusion) continue;

@@ -2,7 +2,12 @@
 #define TRIAD_DISCORD_MASS_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
+
+#include "signal/fft.h"
 
 namespace triad::discord {
 
@@ -17,6 +22,73 @@ struct RollingStats {
 RollingStats ComputeRollingStats(const std::vector<double>& series,
                                  int64_t m);
 
+/// \brief Amortization context for repeated MASS queries against one series
+/// (see ARCHITECTURE.md §7).
+///
+/// Owns a copy of the series plus the two prefix-sum arrays from which the
+/// rolling mean/stddev of *any* subsequence length is derived, and lazily
+/// caches the forward FFT of the zero-padded series per padded size — so
+/// within one subsequence length every query costs one forward FFT of the
+/// query, a pointwise multiply, and one inverse transform, and across a
+/// MERLIN length sweep the series-side transform is shared (lengths whose
+/// padded power-of-two size coincides reuse the same spectrum).
+///
+/// **Bit-identity contract:** every accessor reproduces the exact
+/// arithmetic of the one-shot functions — Stats(m) equals
+/// ComputeRollingStats(series, m), DistanceProfile(q) equals
+/// MassDistanceProfile(series, q) — bit for bit, with the plan cache on or
+/// off. The cache stores results of the same operations, never a
+/// reformulation.
+///
+/// Thread-safety: const methods are safe to call concurrently from pool
+/// workers (the spectrum cache takes an internal mutex on first touch per
+/// padded size; per-call scratch is thread-local). Cache effectiveness is
+/// exported as the `mass.spectrum_hits` / `mass.spectrum_misses` registry
+/// counters.
+class MassContext {
+ public:
+  /// Copies (or moves) the series in; the context is self-contained.
+  explicit MassContext(std::vector<double> series);
+
+  const std::vector<double>& series() const { return series_; }
+  int64_t size() const { return static_cast<int64_t>(series_.size()); }
+
+  /// Rolling stats for length m, derived from the shared prefix sums.
+  RollingStats Stats(int64_t m) const;
+
+  /// Sliding dot products dots[i] = sum_j series[i+j] * query[j] for
+  /// i in [0, n-m]; `dots` must hold n-m+1 entries. One query-side FFT
+  /// against the cached series spectrum (or the reference FftConvolve when
+  /// the plan cache is disabled).
+  void SlidingDotsInto(const double* query, int64_t m, double* dots) const;
+
+  /// MASS distance profile of `query` against every subsequence;
+  /// bit-identical to MassDistanceProfile(series, query).
+  std::vector<double> DistanceProfile(const std::vector<double>& query) const;
+
+  /// Scratch-free variant for row loops: `stats` must come from Stats(m)
+  /// (hoisted out of the loop by the caller), `out` must hold n-m+1
+  /// entries, and `query` may point into any live buffer (including the
+  /// context's own series).
+  void DistanceProfileInto(const double* query, int64_t m,
+                           const RollingStats& stats, double* out) const;
+
+ private:
+  /// The forward FFT of the series zero-padded to `padded` (a power of
+  /// two), computed once per padded size and shared.
+  std::shared_ptr<const std::vector<signal::Complex>> SpectrumFor(
+      size_t padded) const;
+
+  std::vector<double> series_;
+  std::vector<double> prefix_;     ///< prefix sums, n+1 entries
+  std::vector<double> prefix_sq_;  ///< prefix sums of squares, n+1 entries
+
+  mutable std::mutex mu_;
+  mutable std::unordered_map<size_t,
+                             std::shared_ptr<const std::vector<signal::Complex>>>
+      spectra_;
+};
+
 /// \brief MASS (Mueen's Algorithm for Similarity Search).
 ///
 /// Returns the z-normalized Euclidean distance between `query` (length m)
@@ -25,6 +97,10 @@ RollingStats ComputeRollingStats(const std::vector<double>& series,
 /// is also flat (distance 0); +inf marks the pair as incomparable and every
 /// downstream consumer (discord ranking, profile argmins) excludes it via
 /// isfinite, so constant segments cannot masquerade as discords.
+///
+/// One-shot convenience over MassContext: callers issuing many queries
+/// against the same series should hold a context instead so the series
+/// spectrum and prefix sums are computed once.
 std::vector<double> MassDistanceProfile(const std::vector<double>& series,
                                         const std::vector<double>& query);
 

@@ -8,7 +8,6 @@
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "discord/mass.h"
-#include "signal/fft.h"
 
 namespace triad::discord {
 namespace {
@@ -33,21 +32,22 @@ Result<MatrixProfile> Stomp(const std::vector<double>& series, int64_t m) {
   }
   const int64_t count = n - m + 1;
   const int64_t exclusion = m;
-  const RollingStats stats = ComputeRollingStats(series, m);
+  // One amortization context for every chunk seed: the rolling stats come
+  // from its prefix sums and each FFT row reuses the cached series spectrum
+  // (one series-side transform for the whole profile instead of one per
+  // chunk). Bit-identical to the from-scratch path (ARCHITECTURE.md §7).
+  const MassContext ctx(series);
+  const RollingStats stats = ctx.Stats(m);
 
   MatrixProfile profile;
   profile.distances.assign(static_cast<size_t>(count), kInf);
   profile.indices.assign(static_cast<size_t>(count), -1);
 
   // Dot products of subsequence i with every subsequence j, via one FFT
-  // convolution pass: QT_i[j] = conv[m-1+j].
+  // pass against the cached spectrum: QT_i[j] = dot(sub_i, sub_j).
   const auto FftRow = [&](int64_t i) {
-    std::vector<double> reversed(series.rend() - (i + m), series.rend() - i);
-    const std::vector<double> conv = signal::FftConvolve(series, reversed);
     std::vector<double> row(static_cast<size_t>(count));
-    for (int64_t j = 0; j < count; ++j) {
-      row[static_cast<size_t>(j)] = conv[static_cast<size_t>(m - 1 + j)];
-    }
+    ctx.SlidingDotsInto(series.data() + i, m, row.data());
     return row;
   };
   // Row 0 doubles as the symmetry source for every chunk's sliding updates:

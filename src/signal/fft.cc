@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "signal/fft_plan.h"
 
 namespace triad::signal {
 namespace {
@@ -81,8 +82,21 @@ std::vector<Complex> FftBluestein(const std::vector<Complex>& input,
   return out;
 }
 
+// From-scratch reference transform. The planned path (signal/fft_plan.h)
+// performs the exact same operation sequence with the size-dependent
+// tables precomputed; TRIAD_FFT_PLAN=off forces this path everywhere.
 std::vector<Complex> Transform(const std::vector<Complex>& input, int sign) {
   if (input.empty()) return {};
+  if (PlanCacheEnabled()) {
+    std::vector<Complex> data = input;
+    const std::shared_ptr<const FftPlan> plan = GetFftPlan(input.size());
+    if (sign < 0) {
+      plan->Forward(&data);
+    } else {
+      plan->InverseUnnormalized(&data);
+    }
+    return data;
+  }
   if (IsPowerOfTwo(input.size())) {
     std::vector<Complex> data = input;
     FftRadix2InPlace(&data, sign);
@@ -128,6 +142,27 @@ std::vector<double> FftConvolve(const std::vector<double>& a,
   TRIAD_CHECK(!a.empty() && !b.empty());
   const size_t out_len = a.size() + b.size() - 1;
   const size_t m = NextPowerOfTwo(out_len);
+  if (PlanCacheEnabled()) {
+    // Planned path: cached tables plus per-worker scratch. The scratch is
+    // thread_local because FftConvolve runs concurrently on pool workers
+    // (MASS scans, STOMP chunk seeds); assign() reuses capacity, so steady
+    // state performs no allocation.
+    const std::shared_ptr<const FftPlan> plan = GetFftPlan(m);
+    thread_local std::vector<Complex> fa;
+    thread_local std::vector<Complex> fb;
+    fa.assign(m, Complex(0, 0));
+    fb.assign(m, Complex(0, 0));
+    for (size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
+    for (size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
+    plan->Forward(&fa);
+    plan->Forward(&fb);
+    for (size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+    plan->InverseUnnormalized(&fa);
+    std::vector<double> out(out_len);
+    const double inv = 1.0 / static_cast<double>(m);
+    for (size_t i = 0; i < out_len; ++i) out[i] = fa[i].real() * inv;
+    return out;
+  }
   std::vector<Complex> fa(m, Complex(0, 0));
   std::vector<Complex> fb(m, Complex(0, 0));
   for (size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);

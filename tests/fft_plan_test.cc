@@ -1,0 +1,221 @@
+// The plan cache's bit-identity contract (ARCHITECTURE.md §7): a planned
+// transform must perform the exact same IEEE operation sequence as the
+// from-scratch reference path, so every output — FFT bins, convolutions,
+// MASS distance profiles — is bit-for-bit equal with TRIAD_FFT_PLAN on or
+// off. Also stresses the process-global cache from many threads (run under
+// TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "discord/mass.h"
+#include "signal/fft.h"
+#include "signal/fft_plan.h"
+
+namespace triad::signal {
+namespace {
+
+std::vector<Complex> RandomSignal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = Complex(rng.Normal(0.0, 1.0), rng.Normal(0.0, 1.0));
+  }
+  return x;
+}
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.13 * static_cast<double>(i)) + rng.Normal(0.0, 0.3);
+  }
+  return x;
+}
+
+// Bit-level equality: the contract is "same operation sequence", so even
+// the sign of zero and NaN payloads must agree.
+void ExpectBitEqual(const std::vector<Complex>& a,
+                    const std::vector<Complex>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)));
+}
+
+void ExpectBitEqual(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+}
+
+// Power-of-two (radix-2), odd, prime, and even-composite (Bluestein)
+// lengths, including the degenerate 1/2-point transforms.
+const size_t kLengths[] = {1, 2, 4, 8, 64, 256, 1024, 3,  5,   7,
+                           9, 15, 100, 127, 211, 500, 768, 1000, 1021};
+
+TEST(FftPlanTest, PlannedForwardMatchesReferenceBitForBit) {
+  for (size_t n : kLengths) {
+    const std::vector<Complex> x = RandomSignal(n, 1000 + n);
+    std::vector<Complex> reference, planned;
+    {
+      ScopedPlanCache off(false);
+      reference = Fft(x);
+    }
+    {
+      ScopedPlanCache on(true);
+      planned = Fft(x);
+    }
+    SCOPED_TRACE("n = " + std::to_string(n));
+    ExpectBitEqual(reference, planned);
+  }
+}
+
+TEST(FftPlanTest, PlannedInverseMatchesReferenceBitForBit) {
+  for (size_t n : kLengths) {
+    const std::vector<Complex> x = RandomSignal(n, 2000 + n);
+    std::vector<Complex> reference, planned;
+    {
+      ScopedPlanCache off(false);
+      reference = InverseFft(x);
+    }
+    {
+      ScopedPlanCache on(true);
+      planned = InverseFft(x);
+    }
+    SCOPED_TRACE("n = " + std::to_string(n));
+    ExpectBitEqual(reference, planned);
+  }
+}
+
+TEST(FftPlanTest, RepeatedPlannedCallsAreStable) {
+  // The cached plan must give the same bits on every reuse (scratch
+  // buffers fully overwritten, no stale state).
+  ScopedPlanCache on(true);
+  const std::vector<Complex> x = RandomSignal(211, 42);
+  const std::vector<Complex> first = Fft(x);
+  for (int i = 0; i < 3; ++i) ExpectBitEqual(first, Fft(x));
+}
+
+TEST(FftPlanTest, ConvolutionMatchesReferenceBitForBit) {
+  for (size_t n : {size_t{17}, size_t{64}, size_t{333}}) {
+    const std::vector<double> a = RandomSeries(n, 3000 + n);
+    const std::vector<double> b = RandomSeries(n / 2 + 1, 4000 + n);
+    std::vector<double> reference, planned;
+    {
+      ScopedPlanCache off(false);
+      reference = FftConvolve(a, b);
+    }
+    {
+      ScopedPlanCache on(true);
+      planned = FftConvolve(a, b);
+    }
+    SCOPED_TRACE("n = " + std::to_string(n));
+    ExpectBitEqual(reference, planned);
+  }
+}
+
+TEST(FftPlanTest, MassDistanceProfileBitIdenticalOffVsOn) {
+  // The discord stack's consumer-facing guarantee: MASS profiles (series
+  // spectrum reuse + planned transforms) match the from-scratch path so
+  // detector outputs cannot depend on TRIAD_FFT_PLAN.
+  const std::vector<double> series = RandomSeries(1500, 7);
+  for (int64_t m : {int64_t{8}, int64_t{100}, int64_t{257}}) {
+    const std::vector<double> query(series.begin() + 31,
+                                    series.begin() + 31 + m);
+    std::vector<double> reference, planned;
+    {
+      ScopedPlanCache off(false);
+      reference = discord::MassDistanceProfile(series, query);
+    }
+    {
+      ScopedPlanCache on(true);
+      planned = discord::MassDistanceProfile(series, query);
+      // A reused context must agree with the one-shot helper too.
+      const discord::MassContext ctx(series);
+      ExpectBitEqual(planned, ctx.DistanceProfile(query));
+    }
+    SCOPED_TRACE("m = " + std::to_string(m));
+    ExpectBitEqual(reference, planned);
+  }
+}
+
+TEST(FftPlanTest, ConcurrentPlanCacheStress) {
+  // Many threads demand overlapping plan sizes and run transforms while
+  // the cache is being populated; TSan verifies the locking discipline,
+  // the asserts verify results are independent of interleaving.
+  ScopedPlanCache on(true);
+  constexpr int kThreads = 8;
+  const std::vector<size_t> sizes = {64, 100, 127, 256, 500, 1021};
+  std::vector<std::vector<Complex>> expected;
+  for (size_t n : sizes) expected.push_back(Fft(RandomSignal(n, 5000 + n)));
+
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &sizes, &expected, &failures] {
+      for (int round = 0; round < 20; ++round) {
+        for (size_t s = 0; s < sizes.size(); ++s) {
+          const size_t n = sizes[(s + static_cast<size_t>(t)) % sizes.size()];
+          const std::vector<Complex> got = Fft(RandomSignal(n, 5000 + n));
+          const std::vector<Complex>& want =
+              expected[(s + static_cast<size_t>(t)) % sizes.size()];
+          if (got.size() != want.size() ||
+              std::memcmp(got.data(), want.data(),
+                          got.size() * sizeof(Complex)) != 0) {
+            ++failures[static_cast<size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int f : failures) EXPECT_EQ(0, f);
+}
+
+TEST(FftPlanTest, ConcurrentMassContextStress) {
+  // Concurrent MassContext users: shared spectra are built lazily under
+  // the context's own lock while plan lookups hit the global cache.
+  ScopedPlanCache on(true);
+  const std::vector<double> series = RandomSeries(2000, 11);
+  const discord::MassContext ctx(series);
+  const std::vector<double> query(series.begin() + 100,
+                                  series.begin() + 180);
+  const std::vector<double> expected = ctx.DistanceProfile(query);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &ctx, &query, &expected, &failures] {
+      for (int round = 0; round < 10; ++round) {
+        const std::vector<double> got = ctx.DistanceProfile(query);
+        if (got.size() != expected.size() ||
+            std::memcmp(got.data(), expected.data(),
+                        got.size() * sizeof(double)) != 0) {
+          ++failures[static_cast<size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int f : failures) EXPECT_EQ(0, f);
+}
+
+TEST(FftPlanTest, PlanCacheEnabledHonorsScopedOverride) {
+  {
+    ScopedPlanCache off(false);
+    EXPECT_FALSE(PlanCacheEnabled());
+    {
+      ScopedPlanCache on(true);
+      EXPECT_TRUE(PlanCacheEnabled());
+    }
+    EXPECT_FALSE(PlanCacheEnabled());
+  }
+}
+
+}  // namespace
+}  // namespace triad::signal
