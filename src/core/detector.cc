@@ -9,6 +9,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "common/stats.h"
@@ -103,7 +104,59 @@ std::vector<double> MeanPairwiseSimilarity(
   return sim;
 }
 
+// Streaming-memo instruments (ARCHITECTURE.md §8). Hit/miss pairs per
+// cached stage; `memo_bypass` counts dirty passes that fell back to the
+// plain path. All shared-registry counters, so ucr_runner --metrics-json
+// and the benches report them alongside the mass.spectrum_* pair.
+struct MemoMetrics {
+  metrics::Counter* encode_hits =
+      metrics::Registry::Global().counter("streaming.encode_hits");
+  metrics::Counter* encode_misses =
+      metrics::Registry::Global().counter("streaming.encode_misses");
+  metrics::Counter* dot_hits =
+      metrics::Registry::Global().counter("streaming.dot_hits");
+  metrics::Counter* dot_misses =
+      metrics::Registry::Global().counter("streaming.dot_misses");
+  metrics::Counter* deviation_hits =
+      metrics::Registry::Global().counter("streaming.deviation_hits");
+  metrics::Counter* deviation_misses =
+      metrics::Registry::Global().counter("streaming.deviation_misses");
+  metrics::Counter* merlin_hits =
+      metrics::Registry::Global().counter("streaming.merlin_hits");
+  metrics::Counter* merlin_misses =
+      metrics::Registry::Global().counter("streaming.merlin_misses");
+  metrics::Counter* memo_bypass =
+      metrics::Registry::Global().counter("streaming.memo_bypass");
+};
+
+MemoMetrics& MemoInstruments() {
+  static MemoMetrics m;
+  return m;
+}
+
 }  // namespace
+
+void DetectMemo::EvictBefore(int64_t global_start) {
+  for (auto& per_domain : encodings) {
+    for (auto it = per_domain.begin(); it != per_domain.end();) {
+      it = it->first < global_start ? per_domain.erase(it) : std::next(it);
+    }
+  }
+  for (auto& per_domain : rep_dots) {
+    // Keys are (lo, hi) with lo <= hi: everything with lo below the buffer
+    // start references an evicted window, and the map is ordered by lo.
+    per_domain.erase(per_domain.begin(),
+                     per_domain.lower_bound({global_start, global_start}));
+  }
+  for (auto it = deviations.begin(); it != deviations.end();) {
+    it = it->first < global_start ? deviations.erase(it) : std::next(it);
+  }
+  merlin.erase(std::remove_if(merlin.begin(), merlin.end(),
+                              [&](const MerlinEntry& e) {
+                                return e.begin < global_start;
+                              }),
+               merlin.end());
+}
 
 bool WindowOverlapsRange(int64_t start, int64_t length, int64_t begin,
                          int64_t end) {
@@ -207,6 +260,12 @@ std::vector<std::vector<float>> TriadDetector::EncodeWindows(
 
 Result<DetectionResult> TriadDetector::Detect(
     const std::vector<double>& test_series) const {
+  return Detect(test_series, /*memo=*/nullptr, /*global_start=*/0);
+}
+
+Result<DetectionResult> TriadDetector::Detect(
+    const std::vector<double>& test_series, DetectMemo* memo,
+    int64_t global_start) const {
   if (model_ == nullptr) {
     return Status::FailedPrecondition("Detect called before Fit");
   }
@@ -228,11 +287,24 @@ Result<DetectionResult> TriadDetector::Detect(
   result.window_starts = signal::SlidingWindowStarts(n, window_length_, stride_);
   const int64_t M = static_cast<int64_t>(result.window_starts.size());
 
+  // The memo is content-keyed by global stream index, so it is only valid
+  // when the buffer passed through the sanitizer untouched; a repaired
+  // buffer runs the plain path (ARCHITECTURE.md §8).
+  if (memo != nullptr && !result.sanitize_report.clean()) {
+    MemoInstruments().memo_bypass->Increment();
+    memo = nullptr;
+  }
+  if (memo != nullptr) memo->EvictBefore(global_start);
+
   std::vector<std::vector<double>> windows;
   windows.reserve(static_cast<size_t>(M));
   for (int64_t s : result.window_starts) {
     windows.push_back(signal::ExtractWindow(series, s, window_length_));
   }
+  // Global key of window i: stream index of its first sample.
+  const auto global_key = [&](int64_t i) {
+    return global_start + result.window_starts[static_cast<size_t>(i)];
+  };
 
   // ---- stage 1: encode + tri-window nomination ----
   // The three domain encoders run as independent pool tasks (inference
@@ -240,22 +312,94 @@ Result<DetectionResult> TriadDetector::Detect(
   // fans its rows out across the pool. Stage timings come from TraceSpans
   // (ARCHITECTURE.md §6); the DetectionResult *_seconds fields are a
   // compatibility view of the same measurements.
+  //
+  // Memoized passes encode only the windows that newly slid into the
+  // buffer: encodings are per-window computations (batch rows are
+  // independent, enforced by core_test's EncodeRowsAreBatchIndependent),
+  // so a cached row is bitwise the row this pass would recompute. Each
+  // domain touches only its own memo slot, so the per-domain fan-out
+  // stays race-free.
   trace::TraceSpan encode_span("detector.encode");
   const std::vector<Domain> domains = model_->EnabledDomains();
   std::vector<std::vector<std::vector<float>>> reps(
       domains.size());  // [domain][window][L]
-  ParallelFor(0, static_cast<int64_t>(domains.size()), /*grain=*/1,
-              [&](int64_t begin, int64_t end) {
-                for (int64_t di = begin; di < end; ++di) {
-                  reps[static_cast<size_t>(di)] =
-                      EncodeWindows(domains[static_cast<size_t>(di)], windows);
-                }
-              });
+  ParallelFor(
+      0, static_cast<int64_t>(domains.size()), /*grain=*/1,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t di = begin; di < end; ++di) {
+          const Domain domain = domains[static_cast<size_t>(di)];
+          if (memo == nullptr) {
+            reps[static_cast<size_t>(di)] = EncodeWindows(domain, windows);
+            continue;
+          }
+          auto& cache = memo->encodings[static_cast<size_t>(domain)];
+          std::vector<int64_t> missing;
+          for (int64_t i = 0; i < M; ++i) {
+            if (cache.find(global_key(i)) == cache.end()) missing.push_back(i);
+          }
+          if (!missing.empty()) {
+            std::vector<std::vector<double>> missing_windows;
+            missing_windows.reserve(missing.size());
+            for (int64_t i : missing) {
+              missing_windows.push_back(windows[static_cast<size_t>(i)]);
+            }
+            std::vector<std::vector<float>> fresh =
+                EncodeWindows(domain, missing_windows);
+            for (size_t k = 0; k < missing.size(); ++k) {
+              cache[global_key(missing[k])] = std::move(fresh[k]);
+            }
+          }
+          MemoInstruments().encode_misses->Increment(missing.size());
+          MemoInstruments().encode_hits->Increment(
+              static_cast<uint64_t>(M) - missing.size());
+          auto& out = reps[static_cast<size_t>(di)];
+          out.resize(static_cast<size_t>(M));
+          for (int64_t i = 0; i < M; ++i) {
+            out[static_cast<size_t>(i)] = cache.at(global_key(i));
+          }
+        }
+      });
   result.encode_seconds = encode_span.Stop();
 
   trace::TraceSpan tri_window_span("detector.tri_window");
   for (size_t di = 0; di < domains.size(); ++di) {
-    std::vector<double> sim = MeanPairwiseSimilarity(reps[di]);
+    std::vector<double> sim;
+    if (memo == nullptr) {
+      sim = MeanPairwiseSimilarity(reps[di]);
+    } else {
+      // Same per-row sums in the same j order as MeanPairwiseSimilarity,
+      // with each pairwise dot served from the memo when cached.
+      // simd::Dot is bitwise symmetric (per-lane products commute), so one
+      // (lo, hi) key serves both orders.
+      auto& dots =
+          memo->rep_dots[static_cast<size_t>(domains[di])];
+      uint64_t hits = 0, misses = 0;
+      sim.assign(static_cast<size_t>(M), 0.0);
+      for (int64_t i = 0; i < M; ++i) {
+        double total = 0.0;
+        const auto& a = reps[di][static_cast<size_t>(i)];
+        for (int64_t j = 0; j < M; ++j) {
+          if (i == j) continue;
+          const int64_t gi = global_key(i), gj = global_key(j);
+          const auto key = std::make_pair(std::min(gi, gj), std::max(gi, gj));
+          auto it = dots.find(key);
+          if (it == dots.end()) {
+            const auto& b = reps[di][static_cast<size_t>(j)];
+            it = dots.emplace(key, simd::Dot(a.data(), b.data(),
+                                             static_cast<int64_t>(a.size())))
+                     .first;
+            ++misses;
+          } else {
+            ++hits;
+          }
+          total += it->second;
+        }
+        sim[static_cast<size_t>(i)] =
+            M > 1 ? total / static_cast<double>(M - 1) : 0.0;
+      }
+      MemoInstruments().dot_hits->Increment(hits);
+      MemoInstruments().dot_misses->Increment(misses);
+    }
     result.candidate_windows.push_back(ArgMin(sim));
     result.domain_similarity.push_back(std::move(sim));
   }
@@ -268,19 +412,44 @@ Result<DetectionResult> TriadDetector::Detect(
   const std::vector<int64_t> candidates(unique_candidates.begin(),
                                         unique_candidates.end());
   std::vector<double> deviation(candidates.size(), 0.0);
-  ParallelFor(0, static_cast<int64_t>(candidates.size()), /*grain=*/1,
+  std::vector<int64_t> pending;  // indices into `candidates` to compute
+  if (memo == nullptr) {
+    pending.resize(candidates.size());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      pending[c] = static_cast<int64_t>(c);
+    }
+  } else {
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const auto it = memo->deviations.find(global_key(candidates[c]));
+      if (it != memo->deviations.end()) {
+        deviation[c] = it->second;
+        MemoInstruments().deviation_hits->Increment();
+      } else {
+        pending.push_back(static_cast<int64_t>(c));
+        MemoInstruments().deviation_misses->Increment();
+      }
+    }
+  }
+  ParallelFor(0, static_cast<int64_t>(pending.size()), /*grain=*/1,
               [&](int64_t begin, int64_t end) {
-                for (int64_t c = begin; c < end; ++c) {
+                for (int64_t k = begin; k < end; ++k) {
+                  const size_t c =
+                      static_cast<size_t>(pending[static_cast<size_t>(k)]);
                   // The fitted context amortizes the train-side FFT and
                   // stats across every candidate scan (ARCHITECTURE.md §7).
                   const std::vector<double> profile =
                       train_mass_->DistanceProfile(
-                          windows[static_cast<size_t>(
-                              candidates[static_cast<size_t>(c)])]);
-                  deviation[static_cast<size_t>(c)] =
+                          windows[static_cast<size_t>(candidates[c])]);
+                  deviation[c] =
                       *std::min_element(profile.begin(), profile.end());
                 }
               });
+  if (memo != nullptr) {
+    for (int64_t k : pending) {
+      const size_t c = static_cast<size_t>(k);
+      memo->deviations[global_key(candidates[c])] = deviation[c];
+    }
+  }
   int64_t selected = candidates.front();
   double best_deviation = -1.0;
   for (size_t c = 0; c < candidates.size(); ++c) {
@@ -299,19 +468,63 @@ Result<DetectionResult> TriadDetector::Detect(
       config_.merlin_padding_windows * static_cast<double>(window_length_)));
   result.search_begin = std::max<int64_t>(0, w_start - pad);
   result.search_end = std::min(n, w_start + window_length_ + pad);
-  const std::vector<double> region(
-      series.begin() + result.search_begin,
-      series.begin() + result.search_end);
   const int64_t region_len = result.search_end - result.search_begin;
   const int64_t max_len = std::min<int64_t>(
       region_len / 2 - 1,
       static_cast<int64_t>(std::llround(config_.merlin_max_length_windows *
                                         static_cast<double>(window_length_))));
   if (max_len >= config_.merlin_min_length) {
-    auto merlin = discord::Merlin(region, config_.merlin_min_length, max_len,
-                                  config_.merlin_length_step);
-    TRIAD_RETURN_NOT_OK(merlin.status());
-    for (discord::Discord d : merlin.value().discords) {
+    // Changed-region tracking at region granularity: when the selected
+    // window's global span matches a cached entry, the stream content of
+    // the whole region is unchanged since that pass — no profile row in it
+    // moved — so the cached MerlinResult IS this pass's result and the
+    // re-search is skipped outright. Any content change misses the cache
+    // and re-runs the full sweep (bit-identity forbids partial
+    // floating-point reuse across shifted origins; see ARCHITECTURE.md §8
+    // and discord::StompStream for the row-level primitive).
+    const discord::MerlinResult* cached = nullptr;
+    if (memo != nullptr) {
+      const int64_t gb = global_start + result.search_begin;
+      const int64_t ge = global_start + result.search_end;
+      for (auto& entry : memo->merlin) {
+        if (entry.begin == gb && entry.end == ge) {
+          entry.last_used = ++memo->tick;
+          cached = &entry.result;
+          break;
+        }
+      }
+      if (cached != nullptr) {
+        MemoInstruments().merlin_hits->Increment();
+      } else {
+        MemoInstruments().merlin_misses->Increment();
+      }
+    }
+    discord::MerlinResult fresh;
+    if (cached == nullptr) {
+      const std::vector<double> region(
+          series.begin() + result.search_begin,
+          series.begin() + result.search_end);
+      auto merlin = discord::Merlin(region, config_.merlin_min_length,
+                                    max_len, config_.merlin_length_step);
+      TRIAD_RETURN_NOT_OK(merlin.status());
+      fresh = std::move(merlin).value();
+      if (memo != nullptr) {
+        if (memo->merlin.size() >= DetectMemo::kMerlinEntries) {
+          auto oldest = std::min_element(
+              memo->merlin.begin(), memo->merlin.end(),
+              [](const DetectMemo::MerlinEntry& a,
+                 const DetectMemo::MerlinEntry& b) {
+                return a.last_used < b.last_used;
+              });
+          memo->merlin.erase(oldest);
+        }
+        memo->merlin.push_back({global_start + result.search_begin,
+                                global_start + result.search_end, fresh,
+                                ++memo->tick});
+      }
+      cached = &fresh;
+    }
+    for (discord::Discord d : cached->discords) {
       d.position += result.search_begin;  // translate to test coordinates
       result.discords.push_back(d);
     }

@@ -1,9 +1,13 @@
 #ifndef TRIAD_CORE_DETECTOR_H_
 #define TRIAD_CORE_DETECTOR_H_
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -69,6 +73,60 @@ struct DetectionResult {
   }
 };
 
+/// \brief Cross-pass memo for the streaming incremental hot path
+/// (ARCHITECTURE.md §8).
+///
+/// A StreamingTriad scores a sliding buffer whose content overlaps the
+/// previous pass almost entirely, and stream data is append-only: the bytes
+/// at a global stream index never change once ingested. Every cache below is
+/// therefore keyed by *global* coordinates, which identify content exactly,
+/// and every cached value is the stored result of the identical computation
+/// the from-scratch pass would run — so a memoized pass is bit-identical to
+/// a full recompute by construction (the golden/chunking tests in
+/// tests/streaming_test.cc enforce it on both SIMD tiers).
+///
+/// The memo is only consulted on passes whose sanitize report is clean: a
+/// repaired buffer no longer equals the raw stream content, so its windows
+/// must not be looked up by (or inserted under) global keys. Dirty passes
+/// fall back to the plain path and leave the memo untouched.
+///
+/// Memory stays bounded by the buffer: Detect evicts every key that slid
+/// out of the active window and caps the MERLIN region cache at
+/// kMerlinEntries. Not thread-safe — one memo belongs to one stream.
+struct DetectMemo {
+  /// MERLIN region cache entries kept (LRU); regions are small and results
+  /// are a handful of discords, so this is a few KB. Sized above the number
+  /// of interior windows of a large (8-12 window) streaming buffer so every
+  /// selected window's region survives its whole residence in the buffer.
+  static constexpr size_t kMerlinEntries = 64;
+
+  /// Per-domain window encodings keyed by global window start
+  /// (slot index = static_cast<int>(Domain)).
+  std::array<std::unordered_map<int64_t, std::vector<float>>, 3> encodings;
+  /// Pairwise representation dot products keyed by (lo, hi) global starts;
+  /// simd::Dot is bitwise symmetric in its operands, so one key serves both
+  /// orders.
+  std::array<std::map<std::pair<int64_t, int64_t>, double>, 3> rep_dots;
+  /// Candidate deviation against the training series, keyed by global
+  /// window start.
+  std::unordered_map<int64_t, double> deviations;
+
+  /// One cached MERLIN run: the exact result of
+  /// Merlin(stream[begin, end), ...) with discords in region coordinates.
+  struct MerlinEntry {
+    int64_t begin = 0;  ///< global, inclusive
+    int64_t end = 0;    ///< global, exclusive
+    discord::MerlinResult result;
+    uint64_t last_used = 0;
+  };
+  std::vector<MerlinEntry> merlin;
+  uint64_t tick = 0;  ///< LRU clock for the MERLIN entries
+
+  /// Drops every entry whose content has slid out of the buffer that now
+  /// starts at `global_start`.
+  void EvictBefore(int64_t global_start);
+};
+
 /// \brief The end-to-end TriAD anomaly detector.
 ///
 /// Usage:
@@ -95,6 +153,20 @@ class TriadDetector {
   /// Runs the full inference pipeline of Section III-D on a test series
   /// containing (at most) one anomaly event.
   Result<DetectionResult> Detect(const std::vector<double>& test_series) const;
+
+  /// \brief Detect with cross-pass memoization — the streaming hot path
+  /// (ARCHITECTURE.md §8).
+  ///
+  /// `test_series` is the sliding buffer and `global_start` the global
+  /// stream index of its first sample; `memo` carries content-keyed caches
+  /// across passes. Produces a DetectionResult bit-identical to
+  /// Detect(test_series): cache hits substitute the stored result of the
+  /// identical computation, misses run the normal code and populate the
+  /// memo. Passes whose sanitizer modifies the buffer bypass the memo
+  /// entirely (see DetectMemo). Passing memo == nullptr is exactly
+  /// Detect(test_series).
+  Result<DetectionResult> Detect(const std::vector<double>& test_series,
+                                 DetectMemo* memo, int64_t global_start) const;
 
   /// \brief Multi-event extension beyond the paper's single-event protocol.
   ///

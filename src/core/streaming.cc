@@ -1,9 +1,12 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/metrics.h"
+#include "common/timer.h"
 
 namespace triad::core {
 namespace {
@@ -16,12 +19,24 @@ struct StreamingMetrics {
       metrics::Registry::Global().gauge("streaming.buffered_samples");
   metrics::Gauge* gaps =
       metrics::Registry::Global().gauge("streaming.gaps");
+  metrics::Gauge* buffer_mean =
+      metrics::Registry::Global().gauge("streaming.buffer_mean");
+  metrics::Gauge* buffer_stddev =
+      metrics::Registry::Global().gauge("streaming.buffer_stddev");
   metrics::Counter* passes =
       metrics::Registry::Global().counter("streaming.passes");
   metrics::Counter* failed_passes =
       metrics::Registry::Global().counter("streaming.failed_passes");
   metrics::Counter* sanitize_repairs =
       metrics::Registry::Global().counter("streaming.sanitize_repairs");
+  metrics::Counter* incremental_passes =
+      metrics::Registry::Global().counter("streaming.incremental_passes");
+  metrics::Counter* full_passes =
+      metrics::Registry::Global().counter("streaming.full_passes");
+  metrics::Counter* short_circuit_passes =
+      metrics::Registry::Global().counter("streaming.short_circuit_passes");
+  metrics::Histogram* pass_seconds =
+      metrics::Registry::Global().histogram("streaming.pass_seconds");
 };
 
 StreamingMetrics& Instruments() {
@@ -29,11 +44,71 @@ StreamingMetrics& Instruments() {
   return m;
 }
 
+// TRIAD_STREAMING_INCREMENTAL vetoes StreamingOptions::incremental, same
+// spelling as TRIAD_SIMD / TRIAD_FFT_PLAN: off/0/false/no force the full
+// recompute path. Read once per process.
+bool IncrementalEnabledFromEnv() {
+  static const bool enabled = [] {
+    const std::string v = GetEnvString("TRIAD_STREAMING_INCREMENTAL", "on");
+    return !(v == "off" || v == "0" || v == "false" || v == "no");
+  }();
+  return enabled;
+}
+
 }  // namespace
+
+RollingStatsRing::RollingStatsRing(int64_t capacity)
+    : capacity_(std::max<int64_t>(1, capacity)) {
+  ring_.reserve(static_cast<size_t>(capacity_));
+}
+
+void RollingStatsRing::Push(double value) {
+  if (static_cast<int64_t>(ring_.size()) == capacity_) {
+    const double old = ring_[static_cast<size_t>(next_)];
+    if (std::isfinite(old)) {
+      sum_ -= old;
+      sum_sq_ -= old * old;
+    } else {
+      --nonfinite_;
+    }
+    ring_[static_cast<size_t>(next_)] = value;
+    next_ = (next_ + 1) % capacity_;
+  } else {
+    ring_.push_back(value);
+  }
+  if (std::isfinite(value)) {
+    sum_ += value;
+    sum_sq_ += value * value;
+  } else {
+    ++nonfinite_;
+  }
+}
+
+double RollingStatsRing::nonfinite_fraction() const {
+  return ring_.empty() ? 0.0
+                       : static_cast<double>(nonfinite_) /
+                             static_cast<double>(ring_.size());
+}
+
+double RollingStatsRing::mean() const {
+  const int64_t finite = size() - nonfinite_;
+  return finite > 0 ? sum_ / static_cast<double>(finite) : 0.0;
+}
+
+double RollingStatsRing::stddev() const {
+  const int64_t finite = size() - nonfinite_;
+  if (finite <= 0) return 0.0;
+  const double mu = sum_ / static_cast<double>(finite);
+  const double var = sum_sq_ / static_cast<double>(finite) - mu * mu;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
 
 StreamingTriad::StreamingTriad(const TriadDetector* detector,
                                StreamingOptions options)
-    : detector_(detector) {
+    : detector_(detector),
+      incremental_(options.incremental && IncrementalEnabledFromEnv()),
+      // Ring capacity set below once buffer_length_ is known.
+      ring_(1) {
   TRIAD_CHECK(detector != nullptr);  // null detector stays a programming error
   // An unfitted detector (window_length 0) is tolerated here — the first
   // Append pass surfaces it as FailedPrecondition instead of crashing.
@@ -44,6 +119,7 @@ StreamingTriad::StreamingTriad(const TriadDetector* detector,
   hop_ = options.hop > 0 ? options.hop
                          : std::max<int64_t>(1, detector->stride());
   buffer_.reserve(static_cast<size_t>(buffer_length_));
+  ring_ = RollingStatsRing(buffer_length_);
 }
 
 Result<std::vector<AlarmEvent>> StreamingTriad::Append(
@@ -56,6 +132,7 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
       ++buffer_global_start_;
     }
     buffer_.push_back(value);
+    ring_.Push(value);
     ++total_points_;
     ++since_last_pass_;
     alarms_.push_back(0);
@@ -65,15 +142,9 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
     if (!buffer_full || since_last_pass_ < hop_) continue;
     since_last_pass_ = 0;
 
-    Result<DetectionResult> pass = detector_->Detect(buffer_);
-    if (!pass.ok()) {
-      // Unusable buffer (sanitize rejection): record the unscored span and
-      // keep ingesting — the monitor must survive a burst of bad telemetry.
-      // A FailedPrecondition means the detector itself is unusable; that
-      // one is the caller's bug and does propagate.
-      if (pass.status().code() == StatusCode::kFailedPrecondition) {
-        return pass.status();
-      }
+    // Record the span the failed pass would have scored; adjacent gaps
+    // merge so a long corrupted burst reads as one unscored region.
+    const auto record_gap = [&] {
       ++failed_passes_;
       Instruments().failed_passes->Increment();
       const int64_t gap_end =
@@ -84,6 +155,43 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
         gaps_.push_back({buffer_global_start_, gap_end});
       }
       Instruments().gaps->Set(static_cast<double>(gaps_.size()));
+    };
+
+    // Guaranteed-rejection short-circuit (incremental mode): when the
+    // non-finite fraction alone already exceeds max_damage_fraction, the
+    // sanitizer must reject (its damage fraction is at least the
+    // non-finite fraction), so the pass outcome is known without running
+    // Detect. The ring count is integer-exact, so this never skips a pass
+    // that could have scored. Guarded on a fitted detector so an unfitted
+    // one still surfaces FailedPrecondition below.
+    if (incremental_ && detector_->window_length() > 0 &&
+        ring_.nonfinite_fraction() >
+            detector_->config().sanitize.max_damage_fraction) {
+      Instruments().short_circuit_passes->Increment();
+      record_gap();
+      continue;
+    }
+
+    Timer pass_timer;
+    Result<DetectionResult> pass =
+        incremental_
+            ? detector_->Detect(buffer_, &memo_, buffer_global_start_)
+            : detector_->Detect(buffer_);
+    Instruments().pass_seconds->Observe(pass_timer.ElapsedSeconds());
+    if (incremental_) {
+      Instruments().incremental_passes->Increment();
+    } else {
+      Instruments().full_passes->Increment();
+    }
+    if (!pass.ok()) {
+      // Unusable buffer (sanitize rejection): record the unscored span and
+      // keep ingesting — the monitor must survive a burst of bad telemetry.
+      // A FailedPrecondition means the detector itself is unusable; that
+      // one is the caller's bug and does propagate.
+      if (pass.status().code() == StatusCode::kFailedPrecondition) {
+        return pass.status();
+      }
+      record_gap();
       continue;
     }
     DetectionResult result = std::move(pass).value();
@@ -117,6 +225,8 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
   }
 
   Instruments().buffered_samples->Set(static_cast<double>(buffer_.size()));
+  Instruments().buffer_mean->Set(ring_.mean());
+  Instruments().buffer_stddev->Set(ring_.stddev());
 
   // Merge adjacent/overlapping spans reported across passes.
   std::sort(new_events.begin(), new_events.end(),

@@ -68,8 +68,31 @@ RollingStats ComputeRollingStats(const std::vector<double>& series,
   return DeriveStats(prefix, prefix_sq, n, m);
 }
 
+namespace {
+
+// Spectrum-cache effectiveness counters, shared by every context. Deliberate
+// *eager* registration from the MassContext constructor (not lazily on first
+// SpectrumFor): registered names are what exporters snapshot, so
+// `ucr_runner --metrics-json` and the streaming bench report the pair —
+// zero-valued if no query ran yet — instead of silently omitting it when a
+// run never touched the spectrum cache.
+struct SpectrumCounters {
+  metrics::Counter* hits =
+      metrics::Registry::Global().counter("mass.spectrum_hits");
+  metrics::Counter* misses =
+      metrics::Registry::Global().counter("mass.spectrum_misses");
+};
+
+SpectrumCounters& SpectrumInstruments() {
+  static SpectrumCounters c;
+  return c;
+}
+
+}  // namespace
+
 MassContext::MassContext(std::vector<double> series)
     : series_(std::move(series)) {
+  SpectrumInstruments();  // register mass.spectrum_* for exporters
   BuildPrefixSums(series_, &prefix_, &prefix_sq_);
 }
 
@@ -79,10 +102,8 @@ RollingStats MassContext::Stats(int64_t m) const {
 
 std::shared_ptr<const std::vector<Complex>> MassContext::SpectrumFor(
     size_t padded) const {
-  static metrics::Counter* hits_counter =
-      metrics::Registry::Global().counter("mass.spectrum_hits");
-  static metrics::Counter* misses_counter =
-      metrics::Registry::Global().counter("mass.spectrum_misses");
+  metrics::Counter* hits_counter = SpectrumInstruments().hits;
+  metrics::Counter* misses_counter = SpectrumInstruments().misses;
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = spectra_.find(padded);

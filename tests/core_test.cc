@@ -159,6 +159,46 @@ TEST(ModelTest, EncodeShapes) {
   }
 }
 
+// The streaming memo (core::DetectMemo) re-encodes only the windows that
+// newly slid into the buffer and serves the rest from cache — sound only if
+// a window's encoding never depends on its batch-mates. Lock that
+// assumption down: encoding any sub-batch reproduces the full batch's rows
+// bit for bit.
+TEST(ModelTest, EncodeRowsAreBatchIndependent) {
+  TriadConfig config = TinyConfig();
+  Rng rng(3);
+  TriadModel model(config, &rng);
+  std::vector<std::vector<double>> windows;
+  for (int k = 0; k < 5; ++k) {
+    windows.push_back(Sine(48, 8.0 + static_cast<double>(k)));
+  }
+  for (Domain d : model.EnabledDomains()) {
+    nn::Var full =
+        model.EncodeNormalized(d, nn::Constant(BuildDomainBatch(windows, d, 12)));
+    const int64_t L = full.shape()[1];
+    // Every singleton, plus an interior sub-batch.
+    for (size_t w = 0; w < windows.size(); ++w) {
+      const std::vector<std::vector<double>> one = {windows[w]};
+      nn::Var r =
+          model.EncodeNormalized(d, nn::Constant(BuildDomainBatch(one, d, 12)));
+      for (int64_t i = 0; i < L; ++i) {
+        ASSERT_EQ(r.value()[i],
+                  full.value()[static_cast<int64_t>(w) * L + i])
+            << "domain batch row " << w << " drifted at " << i;
+      }
+    }
+    const std::vector<std::vector<double>> mid = {windows[1], windows[2],
+                                                  windows[3]};
+    nn::Var rm =
+        model.EncodeNormalized(d, nn::Constant(BuildDomainBatch(mid, d, 12)));
+    for (int64_t b = 0; b < 3; ++b) {
+      for (int64_t i = 0; i < L; ++i) {
+        ASSERT_EQ(rm.value()[b * L + i], full.value()[(b + 1) * L + i]);
+      }
+    }
+  }
+}
+
 TEST(ModelTest, AblationDisablesDomains) {
   TriadConfig config = TinyConfig();
   config.use_residual = false;

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "common/env.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/streaming.h"
 #include "data/ucr_generator.h"
 
@@ -216,6 +219,99 @@ TEST(StreamingTest, TimelineInvariantUnderArbitraryChunking) {
     for (size_t i = 0; i < chunked.gaps().size(); ++i) {
       EXPECT_EQ(chunked.gaps()[i].begin, one_shot.gaps()[i].begin);
       EXPECT_EQ(chunked.gaps()[i].end, one_shot.gaps()[i].end);
+    }
+  }
+}
+
+TEST(StreamingTest, RollingStatsRingTracksWindowExactly) {
+  RollingStatsRing ring(4);
+  // Fill, then slide past capacity with a NaN in the mix.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double v : {1.0, 2.0, 3.0, 4.0, nan, 6.0}) ring.Push(v);
+  // Window is now {3, 4, NaN, 6}.
+  EXPECT_EQ(ring.size(), 4);
+  EXPECT_EQ(ring.nonfinite_count(), 1);
+  EXPECT_DOUBLE_EQ(ring.nonfinite_fraction(), 0.25);
+  EXPECT_NEAR(ring.mean(), (3.0 + 4.0 + 6.0) / 3.0, 1e-9);
+  const double mu = (3.0 + 4.0 + 6.0) / 3.0;
+  const double var = (9.0 + 16.0 + 36.0) / 3.0 - mu * mu;
+  EXPECT_NEAR(ring.stddev(), std::sqrt(var), 1e-9);
+  // Slide until the NaN leaves the window: {6, 7, 8, 9}.
+  for (double v : {7.0, 8.0, 9.0}) ring.Push(v);
+  EXPECT_EQ(ring.nonfinite_count(), 0);
+  EXPECT_NEAR(ring.mean(), 7.5, 1e-9);
+}
+
+TEST(StreamingTest, IncrementalAccessorReflectsOptions) {
+  const data::UcrDataset ds = SmallDataset(68);
+  TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(ds.train).ok());
+  // The effective state is options AND environment: on by default, but the
+  // TRIAD_STREAMING_INCREMENTAL escape hatch vetoes it process-wide (CI
+  // runs this suite under the veto, so honor it here).
+  const std::string veto =
+      GetEnvString("TRIAD_STREAMING_INCREMENTAL", "on");
+  const bool env_allows =
+      !(veto == "off" || veto == "0" || veto == "false" || veto == "no");
+  StreamingTriad on(&detector);
+  EXPECT_EQ(on.incremental(), env_allows);
+  StreamingOptions off_options;
+  off_options.incremental = false;
+  StreamingTriad off(&detector, off_options);
+  EXPECT_FALSE(off.incremental());
+}
+
+// Tentpole golden property (ARCHITECTURE.md §8): the memoized incremental
+// path and the full-recompute path produce bit-identical streaming
+// outcomes — alarms, pass counts, failed passes and gaps — on a feed that
+// exercises clean passes, a sanitize-rejected burst (memo bypass plus the
+// guaranteed-rejection short-circuit) and recovery. Checked on both SIMD
+// tiers, since the memo caches kernel outputs.
+TEST(StreamingTest, IncrementalMatchesFullRecomputeBitwise) {
+  const data::UcrDataset ds = SmallDataset(69);
+  TriadDetector detector(TinyConfig());
+  ASSERT_TRUE(detector.Fit(ds.train).ok());
+
+  std::vector<double> feed = ds.test;
+  for (int64_t i = 70; i < 110; ++i) {
+    feed[static_cast<size_t>(i)] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  StreamingOptions base;
+  base.buffer_length = 2 * detector.window_length();
+  const auto run = [&](bool incremental, int64_t chunk) {
+    StreamingOptions options = base;
+    options.incremental = incremental;
+    StreamingTriad stream(&detector, options);
+    for (size_t off = 0; off < feed.size();
+         off += static_cast<size_t>(chunk)) {
+      const size_t hi = std::min(feed.size(), off + static_cast<size_t>(chunk));
+      auto events = stream.Append(std::vector<double>(
+          feed.begin() + static_cast<long>(off),
+          feed.begin() + static_cast<long>(hi)));
+      EXPECT_TRUE(events.ok()) << events.status().ToString();
+    }
+    return stream;
+  };
+
+  for (simd::Level level :
+       {simd::Level::kScalar, simd::HighestSupportedLevel()}) {
+    simd::ScopedForceLevel force(level);
+    const StreamingTriad full = run(/*incremental=*/false, /*chunk=*/23);
+    // The fixture must exercise both rungs or the property is weak.
+    ASSERT_GT(full.passes(), 0);
+    ASSERT_GT(full.failed_passes(), 0);
+    for (int64_t chunk : {int64_t{1}, int64_t{23}, int64_t{256}}) {
+      const StreamingTriad inc = run(/*incremental=*/true, chunk);
+      EXPECT_EQ(inc.alarms(), full.alarms()) << "chunk=" << chunk;
+      EXPECT_EQ(inc.passes(), full.passes()) << "chunk=" << chunk;
+      EXPECT_EQ(inc.failed_passes(), full.failed_passes())
+          << "chunk=" << chunk;
+      ASSERT_EQ(inc.gaps().size(), full.gaps().size()) << "chunk=" << chunk;
+      for (size_t i = 0; i < inc.gaps().size(); ++i) {
+        EXPECT_EQ(inc.gaps()[i].begin, full.gaps()[i].begin);
+        EXPECT_EQ(inc.gaps()[i].end, full.gaps()[i].end);
+      }
     }
   }
 }

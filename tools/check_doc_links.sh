@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the top-level docs resolves
+# to a real file, so a rename/move cannot silently orphan the doc web.
+# CI runs this on every push (see .github/workflows/ci.yml).
+#
+# Scope: inline links `[text](target)` whose target is not an absolute
+# URL or a pure in-page anchor. Anchors on relative targets are stripped
+# (existence of the file is checked; heading anchors are not validated).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md ARCHITECTURE.md EXPERIMENTS.md bench/README.md)
+
+status=0
+for doc in "${DOCS[@]}"; do
+  if [[ ! -f "$doc" ]]; then
+    echo "MISSING DOC: $doc"
+    status=1
+    continue
+  fi
+  dir=$(dirname "$doc")
+  # Pull out every inline-link target on its own line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "BROKEN LINK: $doc -> $target"
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "doc link check FAILED"
+else
+  echo "doc link check OK (${#DOCS[@]} files)"
+fi
+exit $status
