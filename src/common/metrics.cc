@@ -81,6 +81,14 @@ void Gauge::Set(double v) {
   bits_.store(ToBits(v), std::memory_order_relaxed);
 }
 
+void Gauge::Add(double delta) {
+  if (!Enabled()) return;
+  uint64_t old = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(old, ToBits(FromBits(old) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
 double Gauge::value() const {
   return FromBits(bits_.load(std::memory_order_relaxed));
 }

@@ -71,6 +71,11 @@ class Counter {
 class Gauge {
  public:
   void Set(double v);
+  /// Atomically adds `delta` (CAS loop) — for level-style gauges maintained
+  /// by concurrent increments/decrements (e.g. serve.queue_depth, where
+  /// last-write-wins Set from racing ingest threads would lose updates).
+  /// Exact for integer-valued deltas within the double mantissa.
+  void Add(double delta);
   double value() const;
   void Reset();
 

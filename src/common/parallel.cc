@@ -189,6 +189,8 @@ void ThreadPool::RunChunks(int64_t num_chunks,
   if (batch->error != nullptr) std::rethrow_exception(batch->error);
 }
 
+const ThreadPool* CurrentTaskPool() { return tls_executing_pool; }
+
 ThreadPool* DefaultPool() {
   static ThreadPool* pool = [] {
     const int64_t hw =

@@ -75,6 +75,13 @@ class ThreadPool {
 /// outlives static destructors. Never null.
 ThreadPool* DefaultPool();
 
+/// The pool whose task the calling thread is currently executing, or
+/// nullptr outside any pool task. Lets layered schedulers (serve::
+/// FleetServer) detect that they are already inside a pool task — where a
+/// nested RunChunks on the same pool runs inline — and pick an execution
+/// strategy accordingly instead of fanning out to no effect.
+const ThreadPool* CurrentTaskPool();
+
 /// \brief RAII override of DefaultPool() for tests and benches that sweep
 /// thread counts (e.g. asserting 1-thread vs 4-thread bit-identity).
 ///

@@ -1,6 +1,7 @@
 #include "core/detector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <sstream>
@@ -135,6 +136,23 @@ MemoMetrics& MemoInstruments() {
 }
 
 }  // namespace
+
+uint64_t NextStreamUid() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DetectMemo::BindStream(uint64_t uid) {
+  TRIAD_CHECK_MSG(uid != 0, "stream uid 0 is the unbound sentinel");
+  if (stream_uid == 0) {
+    stream_uid = uid;
+    return;
+  }
+  TRIAD_CHECK_MSG(stream_uid == uid,
+                  "cross-stream memo reuse: memo bound to stream "
+                      << stream_uid << " offered to stream " << uid
+                      << " (global keys alias across streams)");
+}
 
 void DetectMemo::EvictBefore(int64_t global_start) {
   for (auto& per_domain : encodings) {

@@ -93,6 +93,15 @@ struct DetectionResult {
 /// Memory stays bounded by the buffer: Detect evicts every key that slid
 /// out of the active window and caps the MERLIN region cache at
 /// kMerlinEntries. Not thread-safe — one memo belongs to one stream.
+///
+/// **One memo, one stream.** The global keys identify content only within a
+/// single stream: two streams with identical prefixes but divergent
+/// suffixes produce identical keys for *different* bytes, so a memo that
+/// migrated between streams would serve stale results that are silently
+/// wrong. Multi-tenant callers (serve::FleetServer) must therefore keep one
+/// memo per tenant, never pool them. BindStream enforces the invariant:
+/// the first bind stamps the owning stream's uid and every later bind to a
+/// different uid is a checked programming error (tests/serve_test.cc).
 struct DetectMemo {
   /// MERLIN region cache entries kept (LRU); regions are small and results
   /// are a handful of discords, so this is a few KB. Sized above the number
@@ -122,10 +131,24 @@ struct DetectMemo {
   std::vector<MerlinEntry> merlin;
   uint64_t tick = 0;  ///< LRU clock for the MERLIN entries
 
+  /// The uid of the stream whose content this memo caches; 0 = not yet
+  /// bound. Stamped by the first BindStream and immutable afterwards.
+  uint64_t stream_uid = 0;
+
+  /// Claims this memo for the stream with the given (nonzero) uid. The
+  /// first call binds; a later call with a different uid aborts — global
+  /// keys from two streams alias each other, so cross-stream reuse would
+  /// silently serve one tenant another tenant's cached results.
+  void BindStream(uint64_t uid);
+
   /// Drops every entry whose content has slid out of the buffer that now
   /// starts at `global_start`.
   void EvictBefore(int64_t global_start);
 };
+
+/// Allocates a process-unique nonzero stream uid (atomic counter). Every
+/// StreamingTriad takes one at construction and binds its memo to it.
+uint64_t NextStreamUid();
 
 /// \brief The end-to-end TriAD anomaly detector.
 ///

@@ -108,8 +108,12 @@ StreamingTriad::StreamingTriad(const TriadDetector* detector,
     : detector_(detector),
       incremental_(options.incremental && IncrementalEnabledFromEnv()),
       // Ring capacity set below once buffer_length_ is known.
-      ring_(1) {
+      ring_(1),
+      stream_uid_(NextStreamUid()) {
   TRIAD_CHECK(detector != nullptr);  // null detector stays a programming error
+  // Claim the memo for this stream up front: its global keys are only
+  // meaningful against this stream's content (DetectMemo::BindStream).
+  memo_.BindStream(stream_uid_);
   // An unfitted detector (window_length 0) is tolerated here — the first
   // Append pass surfaces it as FailedPrecondition instead of crashing.
   const int64_t wl = std::max<int64_t>(1, detector->window_length());
@@ -172,6 +176,9 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
       continue;
     }
 
+    // Re-assert memo ownership every pass: a memo that migrated to another
+    // stream would serve stale content under aliasing global keys.
+    if (incremental_) memo_.BindStream(stream_uid_);
     Timer pass_timer;
     Result<DetectionResult> pass =
         incremental_

@@ -159,6 +159,10 @@ class StreamingTriad {
   int64_t hop() const { return hop_; }
   /// True when cross-pass memoization is active (options AND environment).
   bool incremental() const { return incremental_; }
+  /// Process-unique id of this stream; the DetectMemo is bound to it so a
+  /// memo can never be (mis)used for another stream whose global keys
+  /// alias this one's (see DetectMemo::BindStream, ARCHITECTURE.md §9).
+  uint64_t stream_uid() const { return stream_uid_; }
 
  private:
   const TriadDetector* detector_;
@@ -175,6 +179,7 @@ class StreamingTriad {
   std::vector<TimelineGap> gaps_;
   RollingStatsRing ring_;  ///< O(1) buffer stats (incremental mode)
   DetectMemo memo_;        ///< cross-pass caches (incremental mode)
+  uint64_t stream_uid_;    ///< from NextStreamUid(); memo_ is bound to it
 };
 
 }  // namespace triad::core

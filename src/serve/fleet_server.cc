@@ -1,0 +1,515 @@
+#include "serve/fleet_server.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+
+namespace triad::serve {
+namespace {
+
+struct FleetMetrics {
+  metrics::Gauge* tenants =
+      metrics::Registry::Global().gauge("serve.tenants");
+  metrics::Gauge* queue_depth =
+      metrics::Registry::Global().gauge("serve.queue_depth");
+  metrics::Counter* submitted =
+      metrics::Registry::Global().counter("serve.submitted");
+  metrics::Counter* accepted =
+      metrics::Registry::Global().counter("serve.accepted");
+  metrics::Counter* degraded =
+      metrics::Registry::Global().counter("serve.degraded");
+  metrics::Counter* rejected =
+      metrics::Registry::Global().counter("serve.rejected");
+  metrics::Counter* batched_detects =
+      metrics::Registry::Global().counter("serve.batched_detects");
+  metrics::Counter* single_core_groups =
+      metrics::Registry::Global().counter("serve.single_core_groups");
+  metrics::Counter* multi_core_groups =
+      metrics::Registry::Global().counter("serve.multi_core_groups");
+  metrics::Counter* append_errors =
+      metrics::Registry::Global().counter("serve.append_errors");
+  metrics::Histogram* pass_seconds =
+      metrics::Registry::Global().histogram("serve.pass_seconds");
+};
+
+FleetMetrics& Instruments() {
+  static FleetMetrics m;
+  return m;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+const std::vector<ExecutionStrategy::Enum>& ExecutionStrategy::all() {
+  static const std::vector<Enum> kAll = {kSingleCoreInline, kMultiCoreSharded};
+  return kAll;
+}
+
+const char* ToString(ExecutionStrategy::Enum strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kSingleCoreInline:
+      return "single_core_inline";
+    case ExecutionStrategy::kMultiCoreSharded:
+      return "multi_core_sharded";
+  }
+  return "unknown";
+}
+
+const char* ToString(IngestStatus status) {
+  switch (status) {
+    case IngestStatus::kAccepted:
+      return "accepted";
+    case IngestStatus::kDegraded:
+      return "degraded";
+    case IngestStatus::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+const char* ToString(QosRung rung) {
+  switch (rung) {
+    case QosRung::kHealthy:
+      return "healthy";
+    case QosRung::kDegraded:
+      return "degraded";
+    case QosRung::kRejecting:
+      return "rejecting";
+  }
+  return "unknown";
+}
+
+ExecutionStrategy::Enum ChooseExecutionStrategy(int64_t buffer_length,
+                                                int64_t ready_tenants,
+                                                int64_t pool_lanes,
+                                                const FleetOptions& options) {
+  if (ready_tenants <= 1) return ExecutionStrategy::kMultiCoreSharded;
+  if (buffer_length >= options.multi_core_min_buffer &&
+      ready_tenants < pool_lanes) {
+    return ExecutionStrategy::kMultiCoreSharded;
+  }
+  return ExecutionStrategy::kSingleCoreInline;
+}
+
+// One tenant: its stream, its pending queue, its QoS history. Two mutexes
+// keep the admission path off the inference path — `queue_mu` guards only
+// the pending queue (what Ingest touches), `state_mu` guards the stream and
+// QoS history (what Drain touches), so a producer never waits out a pass.
+struct TenantState {
+  int64_t id = 0;
+  std::shared_ptr<const core::TriadDetector> detector;  // keeps model alive
+  int64_t max_pending_points = 0;
+
+  std::mutex queue_mu;
+  std::deque<std::vector<double>> pending;  // ingest order
+  int64_t pending_points = 0;               // guarded by queue_mu
+  int64_t probation_counter = 0;            // guarded by queue_mu
+
+  mutable std::mutex state_mu;
+  core::StreamingTriad stream;  // guarded by state_mu
+  Status last_error;            // guarded by state_mu
+  // Sliding window of recent pass outcomes (1 = failed), newest at
+  // `qos_next`; drives the deterministic rung transitions.
+  std::array<uint8_t, 64> qos_outcomes{};  // guarded by state_mu
+  int64_t qos_next = 0;
+  int64_t qos_count = 0;
+  metrics::Histogram* pass_hist = nullptr;
+
+  // Written by Drain under state_mu, read lock-free by Ingest.
+  std::atomic<int> rung{static_cast<int>(QosRung::kHealthy)};
+
+  TenantState(std::shared_ptr<const core::TriadDetector> d,
+              const core::StreamingOptions& streaming)
+      : detector(std::move(d)), stream(detector.get(), streaming) {}
+};
+
+struct FleetServer::Impl {
+  mutable std::mutex registry_mu;  // guards tenants map + next_id
+  std::map<int64_t, std::shared_ptr<TenantState>> tenants;
+  int64_t next_id = 1;
+
+  std::mutex drain_mu;  // serializes Drain calls
+
+  // Authoritative fleet accounting (metrics are export-only mirrors and
+  // vanish when TRIAD_METRICS is off; these never do).
+  std::atomic<int64_t> queue_chunks{0};
+  std::atomic<int64_t> queue_points{0};
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> passes{0};
+  std::atomic<uint64_t> failed_passes{0};
+  std::atomic<uint64_t> batched_detects{0};
+  std::atomic<uint64_t> single_core_groups{0};
+  std::atomic<uint64_t> multi_core_groups{0};
+  std::atomic<uint64_t> append_errors{0};
+};
+
+FleetServer::FleetServer(FleetOptions options)
+    : options_(options), impl_(new Impl) {
+  TRIAD_CHECK_MSG(options_.max_tenants >= 1, "max_tenants must be >= 1");
+  TRIAD_CHECK_MSG(options_.max_queue_chunks >= 1,
+                  "max_queue_chunks must be >= 1");
+  TRIAD_CHECK_MSG(options_.probation_interval >= 1,
+                  "probation_interval must be >= 1");
+  options_.qos_window = std::clamp<int64_t>(options_.qos_window, 1, 64);
+  options_.qos_min_passes =
+      std::clamp<int64_t>(options_.qos_min_passes, 1, options_.qos_window);
+}
+
+FleetServer::~FleetServer() { delete impl_; }
+
+Result<int64_t> FleetServer::AddTenant(
+    std::shared_ptr<const core::TriadDetector> detector,
+    TenantOptions options) {
+  if (detector == nullptr) {
+    return Status::InvalidArgument("AddTenant: detector is null");
+  }
+  if (detector->window_length() <= 0) {
+    return Status::FailedPrecondition(
+        "AddTenant: detector is not fitted (call Fit or Load first)");
+  }
+  auto tenant =
+      std::make_shared<TenantState>(std::move(detector), options.streaming);
+  std::lock_guard<std::mutex> lock(impl_->registry_mu);
+  if (static_cast<int64_t>(impl_->tenants.size()) >= options_.max_tenants) {
+    return Status::OutOfRange("AddTenant: fleet is full (max_tenants = " +
+                              std::to_string(options_.max_tenants) + ")");
+  }
+  const int64_t id = impl_->next_id++;
+  tenant->id = id;
+  tenant->max_pending_points =
+      options_.max_pending_points_per_tenant > 0
+          ? options_.max_pending_points_per_tenant
+          : 8 * tenant->stream.buffer_length();
+  tenant->pass_hist = metrics::Registry::Global().histogram(
+      "serve.tenant." + std::to_string(id) + ".pass_seconds");
+  impl_->tenants.emplace(id, std::move(tenant));
+  Instruments().tenants->Set(static_cast<double>(impl_->tenants.size()));
+  return id;
+}
+
+Result<int64_t> FleetServer::AddTenantFromCheckpoint(
+    ModelRegistry* registry, const std::string& checkpoint_path,
+    TenantOptions options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument(
+        "AddTenantFromCheckpoint: registry is null");
+  }
+  TRIAD_ASSIGN_OR_RETURN(auto detector,
+                         registry->LoadCheckpoint(checkpoint_path));
+  return AddTenant(std::move(detector), options);
+}
+
+Status FleetServer::RemoveTenant(int64_t id) {
+  std::shared_ptr<TenantState> tenant;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    auto it = impl_->tenants.find(id);
+    if (it == impl_->tenants.end()) {
+      return Status::NotFound("RemoveTenant: no tenant " + std::to_string(id));
+    }
+    tenant = std::move(it->second);
+    impl_->tenants.erase(it);
+    Instruments().tenants->Set(static_cast<double>(impl_->tenants.size()));
+  }
+  // Return the tenant's undrained chunks to the fleet budget. A drain
+  // holding a shared_ptr may still be scoring chunks it already claimed;
+  // that pass completes against the detached tenant and is harmless.
+  std::lock_guard<std::mutex> lock(tenant->queue_mu);
+  impl_->queue_chunks.fetch_sub(static_cast<int64_t>(tenant->pending.size()),
+                                std::memory_order_relaxed);
+  impl_->queue_points.fetch_sub(tenant->pending_points,
+                                std::memory_order_relaxed);
+  Instruments().queue_depth->Add(
+      -static_cast<double>(tenant->pending.size()));
+  tenant->pending.clear();
+  tenant->pending_points = 0;
+  return Status::OK();
+}
+
+Result<IngestStatus> FleetServer::Ingest(int64_t id,
+                                         const std::vector<double>& points) {
+  std::shared_ptr<TenantState> tenant;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    auto it = impl_->tenants.find(id);
+    if (it == impl_->tenants.end()) {
+      return Status::NotFound("Ingest: no tenant " + std::to_string(id));
+    }
+    tenant = it->second;
+  }
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  Instruments().submitted->Increment();
+
+  const auto rung = static_cast<QosRung>(
+      tenant->rung.load(std::memory_order_acquire));
+  std::lock_guard<std::mutex> lock(tenant->queue_mu);
+  // Verdict order documented on Ingest(); keep the two in sync.
+  if (rung == QosRung::kRejecting) {
+    const int64_t tick = tenant->probation_counter++;
+    if (tick % options_.probation_interval != 0) {
+      impl_->rejected.fetch_add(1, std::memory_order_relaxed);
+      Instruments().rejected->Increment();
+      return IngestStatus::kRejected;
+    }
+  }
+  if (points.empty()) {
+    // No-op, but the verdict still reflects the tenant's rung.
+    if (rung == QosRung::kHealthy) {
+      impl_->accepted.fetch_add(1, std::memory_order_relaxed);
+      Instruments().accepted->Increment();
+      return IngestStatus::kAccepted;
+    }
+    impl_->degraded.fetch_add(1, std::memory_order_relaxed);
+    Instruments().degraded->Increment();
+    return IngestStatus::kDegraded;
+  }
+  // Reserve the fleet queue slot atomically (check-then-add from racing
+  // producers could overshoot the bound; reserve-then-verify cannot).
+  const int64_t depth =
+      impl_->queue_chunks.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (depth > options_.max_queue_chunks) {
+    impl_->queue_chunks.fetch_sub(1, std::memory_order_relaxed);
+    impl_->rejected.fetch_add(1, std::memory_order_relaxed);
+    Instruments().rejected->Increment();
+    return IngestStatus::kRejected;
+  }
+  if (tenant->pending_points + static_cast<int64_t>(points.size()) >
+      tenant->max_pending_points) {
+    impl_->queue_chunks.fetch_sub(1, std::memory_order_relaxed);
+    impl_->rejected.fetch_add(1, std::memory_order_relaxed);
+    Instruments().rejected->Increment();
+    return IngestStatus::kRejected;
+  }
+  tenant->pending_points += static_cast<int64_t>(points.size());
+  tenant->pending.push_back(points);
+  impl_->queue_points.fetch_add(static_cast<int64_t>(points.size()),
+                                std::memory_order_relaxed);
+  Instruments().queue_depth->Add(1.0);
+  if (rung == QosRung::kHealthy) {
+    impl_->accepted.fetch_add(1, std::memory_order_relaxed);
+    Instruments().accepted->Increment();
+    return IngestStatus::kAccepted;
+  }
+  impl_->degraded.fetch_add(1, std::memory_order_relaxed);
+  Instruments().degraded->Increment();
+  return IngestStatus::kDegraded;
+}
+
+namespace {
+
+// The work one drain claimed for one tenant: the chunks swapped out of its
+// pending queue, in ingest order.
+struct DrainItem {
+  std::shared_ptr<TenantState> tenant;
+  std::deque<std::vector<double>> chunks;
+  int64_t chunk_count = 0;
+  int64_t point_count = 0;
+  int64_t passes_run = 0;  // clean + failed, filled in by the pass
+};
+
+}  // namespace
+
+Result<int64_t> FleetServer::Drain() {
+  std::lock_guard<std::mutex> drain_lock(impl_->drain_mu);
+
+  // Claim: swap every tenant's pending queue out from under its queue_mu.
+  // Chunks ingested after this point wait for the next drain.
+  std::vector<std::shared_ptr<TenantState>> tenants;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    tenants.reserve(impl_->tenants.size());
+    for (auto& [id, tenant] : impl_->tenants) tenants.push_back(tenant);
+  }
+  // Group ready tenants by buffer shape (the Detect input length) so each
+  // group can pick one execution strategy.
+  std::map<int64_t, std::vector<DrainItem>> groups;
+  for (auto& tenant : tenants) {
+    DrainItem item;
+    {
+      std::lock_guard<std::mutex> lock(tenant->queue_mu);
+      if (tenant->pending.empty()) continue;
+      item.chunks.swap(tenant->pending);
+      item.point_count = tenant->pending_points;
+      tenant->pending_points = 0;
+    }
+    item.chunk_count = static_cast<int64_t>(item.chunks.size());
+    item.tenant = tenant;
+    groups[tenant->stream.buffer_length()].push_back(std::move(item));
+  }
+
+  // Scoring one tenant's claimed chunks; runs with state_mu held. Updates
+  // the QoS window from the pass-outcome deltas and recomputes the rung.
+  auto run_tenant = [&](DrainItem& item) {
+    TenantState& t = *item.tenant;
+    std::lock_guard<std::mutex> lock(t.state_mu);
+    const int64_t passes_before = t.stream.passes();
+    const int64_t failed_before = t.stream.failed_passes();
+    const auto start = std::chrono::steady_clock::now();
+    for (auto& chunk : item.chunks) {
+      auto events = t.stream.Append(chunk);
+      if (!events.ok()) {
+        t.last_error = events.status();
+        impl_->append_errors.fetch_add(1, std::memory_order_relaxed);
+        Instruments().append_errors->Increment();
+        break;
+      }
+    }
+    const double elapsed = SecondsSince(start);
+    const int64_t clean = t.stream.passes() - passes_before;
+    const int64_t failed = t.stream.failed_passes() - failed_before;
+    item.passes_run = clean + failed;
+    impl_->passes.fetch_add(static_cast<uint64_t>(clean),
+                            std::memory_order_relaxed);
+    impl_->failed_passes.fetch_add(static_cast<uint64_t>(failed),
+                                   std::memory_order_relaxed);
+    if (item.passes_run > 0) {
+      // One observation of the mean per-pass latency for this slice.
+      const double per_pass = elapsed / static_cast<double>(item.passes_run);
+      Instruments().pass_seconds->Observe(per_pass);
+      t.pass_hist->Observe(per_pass);
+    }
+    // Slide the QoS window by the outcomes this drain produced, then move
+    // the rung — a pure function of the tenant's own history.
+    for (int64_t i = 0; i < item.passes_run; ++i) {
+      t.qos_outcomes[static_cast<size_t>(t.qos_next)] = i < failed ? 1 : 0;
+      t.qos_next = (t.qos_next + 1) % options_.qos_window;
+      t.qos_count = std::min(t.qos_count + 1, options_.qos_window);
+    }
+    if (t.qos_count >= options_.qos_min_passes) {
+      int64_t failures = 0;
+      for (int64_t i = 0; i < t.qos_count; ++i) {
+        failures += t.qos_outcomes[static_cast<size_t>(i)];
+      }
+      const double fraction =
+          static_cast<double>(failures) / static_cast<double>(t.qos_count);
+      QosRung next = QosRung::kHealthy;
+      if (fraction >= options_.reject_failure_fraction) {
+        next = QosRung::kRejecting;
+      } else if (fraction >= options_.degrade_failure_fraction) {
+        next = QosRung::kDegraded;
+      }
+      t.rung.store(static_cast<int>(next), std::memory_order_release);
+    }
+  };
+
+  ThreadPool* pool = DefaultPool();
+  // Inside a pool task every nested RunChunks is inline anyway — one lane.
+  const int64_t lanes =
+      CurrentTaskPool() == pool ? 1 : pool->num_threads();
+  int64_t total_passes = 0;
+  for (auto& [buffer_length, group] : groups) {
+    const auto strategy = ChooseExecutionStrategy(
+        buffer_length, static_cast<int64_t>(group.size()), lanes, options_);
+    if (strategy == ExecutionStrategy::kSingleCoreInline) {
+      impl_->single_core_groups.fetch_add(1, std::memory_order_relaxed);
+      Instruments().single_core_groups->Increment();
+      // One tenant per chunk; inner ParallelFors collapse inline.
+      ParallelFor(
+          0, static_cast<int64_t>(group.size()), 1,
+          [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i) run_tenant(group[i]);
+          },
+          pool);
+    } else {
+      impl_->multi_core_groups.fetch_add(1, std::memory_order_relaxed);
+      Instruments().multi_core_groups->Increment();
+      for (DrainItem& item : group) run_tenant(item);
+    }
+    int64_t group_passes = 0;
+    int64_t group_chunks = 0;
+    int64_t group_points = 0;
+    for (const DrainItem& item : group) {
+      group_passes += item.passes_run;
+      group_chunks += item.chunk_count;
+      group_points += item.point_count;
+    }
+    total_passes += group_passes;
+    if (group.size() >= 2) {
+      impl_->batched_detects.fetch_add(static_cast<uint64_t>(group_passes),
+                                       std::memory_order_relaxed);
+      Instruments().batched_detects->Increment(
+          static_cast<uint64_t>(group_passes));
+    }
+    impl_->queue_chunks.fetch_sub(group_chunks, std::memory_order_relaxed);
+    impl_->queue_points.fetch_sub(group_points, std::memory_order_relaxed);
+    Instruments().queue_depth->Add(-static_cast<double>(group_chunks));
+  }
+  return total_passes;
+}
+
+Result<TenantSnapshot> FleetServer::Tenant(int64_t id) const {
+  std::shared_ptr<TenantState> tenant;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    auto it = impl_->tenants.find(id);
+    if (it == impl_->tenants.end()) {
+      return Status::NotFound("Tenant: no tenant " + std::to_string(id));
+    }
+    tenant = it->second;
+  }
+  TenantSnapshot snap;
+  snap.id = tenant->id;
+  snap.rung = static_cast<QosRung>(tenant->rung.load(std::memory_order_acquire));
+  {
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    snap.stream_uid = tenant->stream.stream_uid();
+    snap.total_points = tenant->stream.total_points();
+    snap.passes = tenant->stream.passes();
+    snap.failed_passes = tenant->stream.failed_passes();
+    snap.alarms = tenant->stream.alarms();
+    snap.gaps = tenant->stream.gaps();
+    snap.last_error = tenant->last_error;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tenant->queue_mu);
+    snap.pending_points = tenant->pending_points;
+  }
+  return snap;
+}
+
+FleetStats FleetServer::stats() const {
+  FleetStats s;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    s.tenants = static_cast<int64_t>(impl_->tenants.size());
+  }
+  s.queue_chunks = impl_->queue_chunks.load(std::memory_order_relaxed);
+  s.queue_points = impl_->queue_points.load(std::memory_order_relaxed);
+  s.submitted = impl_->submitted.load(std::memory_order_relaxed);
+  s.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  s.degraded = impl_->degraded.load(std::memory_order_relaxed);
+  s.rejected = impl_->rejected.load(std::memory_order_relaxed);
+  s.passes = impl_->passes.load(std::memory_order_relaxed);
+  s.failed_passes = impl_->failed_passes.load(std::memory_order_relaxed);
+  s.batched_detects = impl_->batched_detects.load(std::memory_order_relaxed);
+  s.single_core_groups =
+      impl_->single_core_groups.load(std::memory_order_relaxed);
+  s.multi_core_groups =
+      impl_->multi_core_groups.load(std::memory_order_relaxed);
+  s.append_errors = impl_->append_errors.load(std::memory_order_relaxed);
+  return s;
+}
+
+int64_t FleetServer::tenant_count() const {
+  std::lock_guard<std::mutex> lock(impl_->registry_mu);
+  return static_cast<int64_t>(impl_->tenants.size());
+}
+
+}  // namespace triad::serve

@@ -1,0 +1,236 @@
+#ifndef TRIAD_SERVE_FLEET_SERVER_H_
+#define TRIAD_SERVE_FLEET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/streaming.h"
+#include "serve/model_registry.h"
+
+namespace triad::serve {
+
+/// \file The fleet-serving layer (ARCHITECTURE.md §9): one process
+/// multiplexing many independent StreamingTriad tenants over the shared
+/// ThreadPool, FFT plan cache and checkpoint-backed ModelRegistry.
+///
+/// Contract in one line: a tenant served inside a fleet produces an alarm
+/// timeline bit-identical to the same tenant run standalone — serving is a
+/// scheduling layer, never a behaviour layer (tests/serve_test.cc).
+
+/// \brief How one drained batch of tenant passes is mapped onto the pool
+/// (the tt-metal BcastOpParallelizationStrategy pattern: an explicit
+/// strategy enum chosen per request from the work's shape and the
+/// machine's state, not hard-coded).
+///
+///  * kSingleCoreInline — tenants fan out across pool lanes, one tenant
+///    per lane; each pass's inner ParallelFors collapse inline (nested
+///    RunChunks run serially inside a pool task). Right when many short
+///    buffers are ready: tenant-level parallelism saturates the lanes.
+///  * kMultiCoreSharded — tenants run one after another on the calling
+///    thread; each pass's inner ParallelFors shard across the whole pool.
+///    Right when a few long buffers are ready: intra-pass parallelism is
+///    the only parallelism there is.
+///
+/// Either strategy yields bit-identical per-tenant results (every inner
+/// decomposition is thread-count-invariant, ARCHITECTURE.md §3); the
+/// choice moves only wall-clock time.
+struct ExecutionStrategy {
+  enum Enum { kSingleCoreInline = 0, kMultiCoreSharded = 1 };
+  static const std::vector<Enum>& all();
+};
+
+const char* ToString(ExecutionStrategy::Enum strategy);
+
+/// \brief Admission verdict for one Ingest call (the fleet-level face of
+/// the repair→degrade→reject ladder, ARCHITECTURE.md §5/§9).
+///
+///  * kAccepted — enqueued; the tenant is healthy.
+///  * kDegraded — enqueued, but the tenant is on the ladder (its recent
+///    passes keep failing sanitize): the caller should shed load or expect
+///    gaps. Scoring continues and stays bit-identical to a standalone run
+///    of the same feed.
+///  * kRejected — dropped without ingesting (tenant rejecting rung, or a
+///    queue bound was hit). Dropped chunks are as if the sensor never
+///    produced them; the tenant's stream simply does not contain them.
+enum class IngestStatus { kAccepted = 0, kDegraded = 1, kRejected = 2 };
+
+const char* ToString(IngestStatus status);
+
+/// \brief Fleet-wide tuning knobs. Defaults serve thousands of small
+/// tenants on a workstation-class pool.
+struct FleetOptions {
+  /// Hard cap on registered tenants; AddTenant fails beyond it.
+  int64_t max_tenants = 4096;
+  /// Per-tenant backpressure: pending (ingested, not yet drained) points
+  /// above this bound reject the offending chunk. 0 = 8 buffers' worth.
+  int64_t max_pending_points_per_tenant = 0;
+  /// Fleet-wide backpressure: total pending chunks across all tenants.
+  int64_t max_queue_chunks = 1 << 16;
+
+  /// QoS ladder thresholds over each tenant's recent pass outcomes
+  /// (sliding window of `qos_window` passes, acted on once at least
+  /// `qos_min_passes` have been observed): failure fraction >=
+  /// `reject_failure_fraction` puts the tenant on the rejecting rung,
+  /// >= `degrade_failure_fraction` on the degraded rung, below that it
+  /// returns to healthy. All transitions are deterministic functions of
+  /// the tenant's own pass history — one tenant can never move another
+  /// tenant's rung.
+  double degrade_failure_fraction = 0.25;
+  double reject_failure_fraction = 0.75;
+  int64_t qos_window = 16;  ///< clamped to [1, 64]
+  int64_t qos_min_passes = 4;
+  /// On the rejecting rung every `probation_interval`-th submitted chunk
+  /// is still ingested (status kDegraded) so a tenant whose data comes
+  /// back clean can climb down the ladder instead of starving forever.
+  int64_t probation_interval = 4;
+
+  /// Strategy rule: a ready group whose buffers are at least this long
+  /// runs kMultiCoreSharded when the group alone cannot fill the pool.
+  int64_t multi_core_min_buffer = 4096;
+};
+
+/// Chooses the execution strategy for one same-shape group of ready
+/// tenant passes: kSingleCoreInline unless the buffers are long
+/// (>= options.multi_core_min_buffer) and the group is too small to fill
+/// the pool's lanes — then intra-pass sharding is the better use of the
+/// machine. A group of one always shards (there is nothing to batch).
+ExecutionStrategy::Enum ChooseExecutionStrategy(int64_t buffer_length,
+                                                int64_t ready_tenants,
+                                                int64_t pool_lanes,
+                                                const FleetOptions& options);
+
+/// \brief Per-tenant options at registration time.
+struct TenantOptions {
+  core::StreamingOptions streaming;
+};
+
+/// \brief The QoS rung a tenant currently occupies (see IngestStatus).
+enum class QosRung { kHealthy = 0, kDegraded = 1, kRejecting = 2 };
+
+const char* ToString(QosRung rung);
+
+/// \brief Point-in-time fleet counters. `submitted == accepted + degraded
+/// + rejected` holds exactly at every quiescent point (no Ingest call in
+/// flight) — the admission-control invariant tests/serve_test.cc checks
+/// property-style.
+struct FleetStats {
+  int64_t tenants = 0;
+  int64_t queue_chunks = 0;  ///< pending, fleet-wide
+  int64_t queue_points = 0;  ///< pending, fleet-wide
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t degraded = 0;
+  uint64_t rejected = 0;
+  uint64_t passes = 0;         ///< clean inference passes across the fleet
+  uint64_t failed_passes = 0;  ///< sanitize-rejected (gap) passes
+  uint64_t batched_detects = 0;  ///< passes run inside a >=2-tenant batch
+  uint64_t single_core_groups = 0;
+  uint64_t multi_core_groups = 0;
+  uint64_t append_errors = 0;  ///< Append returned a hard error (bug-class)
+};
+
+/// \brief Read-only view of one tenant.
+struct TenantSnapshot {
+  int64_t id = 0;
+  uint64_t stream_uid = 0;  ///< the DetectMemo binding (ARCHITECTURE.md §9)
+  QosRung rung = QosRung::kHealthy;
+  int64_t total_points = 0;
+  int64_t pending_points = 0;
+  int64_t passes = 0;
+  int64_t failed_passes = 0;
+  std::vector<int> alarms;               ///< global 0/1 timeline copy
+  std::vector<core::TimelineGap> gaps;   ///< unscored spans
+  Status last_error;                     ///< OK unless Append ever errored
+};
+
+/// \brief Multi-tenant serving front end over StreamingTriad
+/// (ARCHITECTURE.md §9).
+///
+/// Usage:
+///   serve::FleetServer fleet;
+///   auto id = fleet.AddTenant(registry_detector);     // warm-started
+///   fleet.Ingest(*id, chunk);                         // any thread
+///   fleet.Drain();                                    // scoring happens
+///   auto snap = fleet.Tenant(*id);                    // timeline, QoS
+///
+/// Threading model:
+///  * Ingest is thread-safe and never blocks on a running pass: it touches
+///    only the tenant's pending queue (its own mutex) and fleet-level
+///    atomics, so a slow tenant cannot stall another tenant's producers.
+///  * Drain is serialized (concurrent calls queue on an internal mutex).
+///    One drain snapshots every tenant's pending chunks, groups the ready
+///    tenants by buffer shape, picks an ExecutionStrategy per group and
+///    feeds each tenant's chunks — in ingest order — through its
+///    StreamingTriad on the shared DefaultPool().
+///  * AddTenant/RemoveTenant may interleave with both; a tenant removed
+///    mid-drain finishes its in-flight pass and is destroyed afterwards.
+///
+/// Per-tenant ingest order is the caller's responsibility exactly as far
+/// as the caller's own threading makes it: chunks from one producer
+/// thread arrive in program order, and StreamingTriad's chunking
+/// invariance makes the timeline independent of how drains slice them.
+class FleetServer {
+ public:
+  explicit FleetServer(FleetOptions options = FleetOptions());
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Registers a tenant over a fitted, shared detector. Fails with
+  /// InvalidArgument (null detector), FailedPrecondition (unfitted
+  /// detector) or OutOfRange (fleet full). Returns the tenant id.
+  Result<int64_t> AddTenant(
+      std::shared_ptr<const core::TriadDetector> detector,
+      TenantOptions options = TenantOptions());
+
+  /// Warm-start convenience: loads (or reuses) the checkpoint through the
+  /// registry, then AddTenant.
+  Result<int64_t> AddTenantFromCheckpoint(ModelRegistry* registry,
+                                          const std::string& checkpoint_path,
+                                          TenantOptions options =
+                                              TenantOptions());
+
+  /// Unregisters a tenant; its pending chunks are discarded (removed from
+  /// the fleet queue accounting) and its metrics stop updating.
+  Status RemoveTenant(int64_t id);
+
+  /// \brief Submits one chunk of points for a tenant; the admission path.
+  ///
+  /// Verdict order (deterministic; the property test mirrors it):
+  ///  1. rejecting-rung tenants drop every chunk except each
+  ///     `probation_interval`-th (which ingests as kDegraded);
+  ///  2. a full fleet queue (max_queue_chunks) rejects;
+  ///  3. a full tenant queue (max_pending_points_per_tenant) rejects;
+  ///  4. otherwise the chunk is enqueued — kAccepted from a healthy
+  ///     tenant, kDegraded from one on the ladder.
+  /// Empty chunks are accepted no-ops. Unknown tenants are NotFound (an
+  /// addressing error, not an admission verdict — not counted).
+  Result<IngestStatus> Ingest(int64_t id, const std::vector<double>& points);
+
+  /// \brief Scores everything pending; returns inference passes executed
+  /// (clean + failed). Same-shape tenant groups fan out per the chosen
+  /// ExecutionStrategy; per-tenant chunks apply in ingest order.
+  Result<int64_t> Drain();
+
+  /// Read-only tenant view (waits for the tenant's in-flight pass).
+  Result<TenantSnapshot> Tenant(int64_t id) const;
+
+  /// Fleet-wide counters (exact at quiescent points; see FleetStats).
+  FleetStats stats() const;
+
+  int64_t tenant_count() const;
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  struct Impl;
+  FleetOptions options_;
+  Impl* impl_;
+};
+
+}  // namespace triad::serve
+
+#endif  // TRIAD_SERVE_FLEET_SERVER_H_

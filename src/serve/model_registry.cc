@@ -1,0 +1,84 @@
+#include "serve/model_registry.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace triad::serve {
+namespace {
+
+struct RegistryMetrics {
+  metrics::Counter* loads =
+      metrics::Registry::Global().counter("serve.model_loads");
+  metrics::Counter* hits =
+      metrics::Registry::Global().counter("serve.model_hits");
+};
+
+RegistryMetrics& Instruments() {
+  static RegistryMetrics m;
+  return m;
+}
+
+}  // namespace
+
+struct ModelRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::shared_ptr<const core::TriadDetector>> models;
+};
+
+ModelRegistry::ModelRegistry() : impl_(new Impl) {}
+
+ModelRegistry::~ModelRegistry() { delete impl_; }
+
+Result<std::shared_ptr<const core::TriadDetector>>
+ModelRegistry::LoadCheckpoint(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->models.find(path);
+    if (it != impl_->models.end()) {
+      Instruments().hits->Increment();
+      return it->second;
+    }
+  }
+  // Load outside the lock so a slow disk does not stall unrelated lookups;
+  // if two threads race on the same path the second insert wins the map
+  // slot and both detectors are valid (they decode the same bytes).
+  TRIAD_ASSIGN_OR_RETURN(core::TriadDetector detector,
+                         core::TriadDetector::Load(path));
+  auto shared =
+      std::make_shared<const core::TriadDetector>(std::move(detector));
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Instruments().loads->Increment();
+  impl_->models[path] = shared;
+  return impl_->models[path];
+}
+
+std::shared_ptr<const core::TriadDetector> ModelRegistry::Register(
+    const std::string& key, core::TriadDetector detector) {
+  auto shared =
+      std::make_shared<const core::TriadDetector>(std::move(detector));
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Instruments().loads->Increment();
+  impl_->models[key] = shared;
+  return shared;
+}
+
+Result<std::shared_ptr<const core::TriadDetector>> ModelRegistry::Get(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->models.find(key);
+  if (it == impl_->models.end()) {
+    return Status::NotFound("no model registered under '" + key + "'");
+  }
+  Instruments().hits->Increment();
+  return it->second;
+}
+
+int64_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return static_cast<int64_t>(impl_->models.size());
+}
+
+}  // namespace triad::serve
