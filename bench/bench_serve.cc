@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
@@ -60,6 +63,22 @@ std::shared_ptr<const core::TriadDetector> SharedDetector() {
 }
 
 // ---- google-benchmark microbenches ----
+
+// Flips one payload bit of the file's first WAL record (offset 9 is past
+// the 8-byte frame header), turning it into interior corruption recovery
+// must quarantine — the bench's way of keeping the quarantine counters in
+// BENCH_serve.json honest without linking the test-only fault library.
+bool FlipWalPayloadBit(const std::string& path) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) return false;
+  file.seekg(9);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 1);
+  file.seekp(9);
+  file.write(&byte, 1);
+  return static_cast<bool>(file);
+}
 
 // One serving cycle: round-robin ingest of one chunk per tenant, then a
 // batched drain. Sweeping the tenant count shows how the same-shape
@@ -200,6 +219,101 @@ int RunJsonMode() {
     TRIAD_CHECK_EQ(snap->failed_passes, standalone.failed_passes());
   }
 
+  // ---- crash-recovery phase (ARCHITECTURE.md §10) ----
+  // A durable cohort served with WAL + snapshots, two injected transient
+  // faults (exercising the retry counter), then killed mid-stream with one
+  // tenant's WAL bit-flipped — Recover() must quarantine exactly that
+  // tenant and rebuild every other timeline bit-identically.
+  const int64_t durable_tenants =
+      std::min<int64_t>(tenants, GetEnvInt("TRIAD_BENCH_SERVE_DURABLE", 64));
+  // Whole chunks, and at least one buffer plus a few hops: the drained
+  // prefix must produce passes (so snapshots actually happen before the
+  // kill) whatever TRIAD_BENCH_SERVE_POINTS says.
+  core::StreamingTriad durable_probe(SharedDetector().get());
+  size_t durable_points = std::max(
+      std::min<size_t>(static_cast<size_t>(points), 1024),
+      static_cast<size_t>(durable_probe.buffer_length() +
+                          4 * durable_probe.hop()));
+  durable_points = (durable_points + chunk - 1) / chunk * chunk;
+  const std::string durable_dir = "/tmp/triad_bench_serve_durable";
+  TRIAD_CHECK(std::system(("rm -rf " + durable_dir).c_str()) == 0);
+  FleetOptions durable_options;
+  durable_options.durability.dir = durable_dir;
+  // Cadence 1: even the CI-sized run (whose tenants see a single pass
+  // before the kill) writes snapshots, so recovery exercises the
+  // snapshot-restore + watermark-replay path, not just full-WAL replay.
+  durable_options.durability.snapshot_every_passes = 1;
+  // Clean feeds for this cohort: a dirty tenant climbs the QoS ladder and
+  // starts rejecting chunks, which is the main phase's business — the
+  // recovery gate wants every admitted chunk back, nothing subtler.
+  std::vector<std::vector<double>> durable_feeds;
+  for (int64_t t = 0; t < durable_tenants; ++t) {
+    durable_feeds.push_back(StreamWorkload(durable_points, 64.0,
+                                           500 + static_cast<uint64_t>(t)));
+  }
+  std::vector<int64_t> durable_ids;
+  FleetStats killed_stats;
+  {
+    FleetServer durable(durable_options);
+    std::atomic<int64_t> injected{0};
+    ServeTestHooks hooks;
+    hooks.before_append = [&injected](int64_t) -> Status {
+      return injected.fetch_add(1) < 2
+                 ? Status::Unavailable("bench-injected transient fault")
+                 : Status::OK();
+    };
+    SetServeTestHooks(hooks);
+    for (int64_t t = 0; t < durable_tenants; ++t) {
+      auto model = registry.Get("fleet-model");
+      TRIAD_CHECK(model.ok());
+      TenantOptions tenant_options;
+      tenant_options.model_key = "fleet-model";
+      auto id = durable.AddTenant(*model, tenant_options);
+      TRIAD_CHECK(id.ok());
+      durable_ids.push_back(*id);
+    }
+    // Most of the feed drained (so snapshots happen at cadence), the last
+    // chunk left in the WAL tail so the recovery below actually replays.
+    for (size_t off = 0; off < durable_points; off += chunk) {
+      for (int64_t t = 0; t < durable_tenants; ++t) {
+        const auto& feed = durable_feeds[static_cast<size_t>(t)];
+        const size_t hi = std::min(durable_points, off + chunk);
+        auto status = durable.Ingest(
+            durable_ids[static_cast<size_t>(t)],
+            std::vector<double>(feed.begin() + static_cast<long>(off),
+                                feed.begin() + static_cast<long>(hi)));
+        TRIAD_CHECK(status.ok());
+        TRIAD_CHECK(*status == IngestStatus::kAccepted);
+      }
+      if (off + 2 * chunk <= durable_points) {
+        TRIAD_CHECK(durable.Drain().ok());
+      }
+    }
+    ClearServeTestHooks();
+    killed_stats = durable.stats();
+    // Killed here: the fleet object is abandoned with chunks still queued.
+  }
+  TRIAD_CHECK(FlipWalPayloadBit(
+      TenantDir(durable_dir, durable_ids[0]) + "/wal"));
+
+  ModelRegistry recovery_registry;
+  recovery_registry.Register("fleet-model", MakeDetector(5));
+  FleetServer recovered(durable_options);
+  auto report = recovered.Recover(&recovery_registry);
+  TRIAD_CHECK(report.ok());
+  TRIAD_CHECK_EQ(report->tenants_recovered, durable_tenants - 1);
+  TRIAD_CHECK_EQ(static_cast<int64_t>(report->quarantined.size()), 1);
+  for (int64_t t = 1; t < durable_tenants; ++t) {
+    auto snap = recovered.Tenant(durable_ids[static_cast<size_t>(t)]);
+    TRIAD_CHECK(snap.ok());
+    core::StreamingTriad standalone(SharedDetector().get());
+    TRIAD_CHECK(standalone.Append(durable_feeds[static_cast<size_t>(t)]).ok());
+    TRIAD_CHECK_MSG(snap->alarms == standalone.alarms(),
+                    "recovered tenant "
+                        << durable_ids[static_cast<size_t>(t)]
+                        << " diverged from standalone replay");
+  }
+
   const FleetStats stats = fleet.stats();
   const double total_passes =
       static_cast<double>(stats.passes + stats.failed_passes);
@@ -221,6 +335,28 @@ int RunJsonMode() {
       {"single_core_groups", static_cast<double>(stats.single_core_groups)},
       {"multi_core_groups", static_cast<double>(stats.multi_core_groups)},
       {"verified_tenants", static_cast<double>(tenants)},
+      // Crash-recovery phase (ARCHITECTURE.md §10). The registry dump in
+      // this record carries the matching instruments (the
+      // serve.recovery_seconds histogram, serve.quarantined_tenants,
+      // serve.transient_retries, ...).
+      {"durable_tenants", static_cast<double>(durable_tenants)},
+      {"durable_points_per_tenant", static_cast<double>(durable_points)},
+      {"wal_records", static_cast<double>(killed_stats.wal_records)},
+      {"snapshots", static_cast<double>(killed_stats.snapshots)},
+      {"transient_retries",
+       static_cast<double>(killed_stats.transient_retries)},
+      {"recovery_seconds", report->recovery_seconds},
+      {"recovered_tenants", static_cast<double>(report->tenants_recovered)},
+      {"chunks_replayed", static_cast<double>(report->chunks_replayed)},
+      {"points_replayed", static_cast<double>(report->points_replayed)},
+      {"replayed_points_per_sec",
+       report->recovery_seconds > 0.0
+           ? static_cast<double>(report->points_replayed) /
+                 report->recovery_seconds
+           : 0.0},
+      {"quarantined_tenants", static_cast<double>(report->quarantined.size())},
+      {"snapshot_fallbacks", static_cast<double>(report->snapshot_fallbacks)},
+      {"torn_wal_tails", static_cast<double>(report->torn_wal_tails)},
   };
   bench::WriteBenchJson("serve", wall.ElapsedSeconds(), extras);
   return 0;

@@ -1,0 +1,81 @@
+#ifndef TRIAD_COMMON_DEADLINE_H_
+#define TRIAD_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace triad {
+
+/// \file Cooperative pass deadlines (ARCHITECTURE.md §10).
+///
+/// A Detect pass is a long, loop-shaped computation; nothing in it blocks
+/// forever, but a pathological buffer (or an injected fault) can make one
+/// pass eat a whole drain's budget. The deadline layer bounds that
+/// cooperatively: the caller installs a DeadlineState for the duration of
+/// the pass, the pass's loops call CheckPassDeadline() at their natural
+/// checkpoints (stage boundaries, once per MERLIN length), and an expired
+/// or externally cancelled deadline surfaces as Status::DeadlineExceeded —
+/// an ordinary recoverable error, handled exactly like a sanitize
+/// rejection (the span becomes a timeline gap; the QoS ladder sees a
+/// failed pass).
+///
+/// Two triggers, one mechanism:
+///  * **time** — `deadline` is a steady_clock instant; checkpoints compare
+///    against it, so a self-measuring pass aborts itself.
+///  * **cancellation** — `cancelled` is an atomic any thread may set; the
+///    serve watchdog uses it to cut loose a pass that stopped reaching
+///    time checkpoints (e.g. stuck inside injected chaos), without ever
+///    killing a thread.
+///
+/// Propagation: the thread-local current deadline is captured by
+/// ThreadPool::RunChunks when a batch is published and re-installed on
+/// every worker lane for the batch's duration, so checkpoints inside
+/// ParallelFor/ParallelMapReduce bodies observe the submitting pass's
+/// budget (common/parallel.cc).
+struct DeadlineState {
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::atomic<bool> cancelled{false};
+
+  bool Expired() const {
+    return cancelled.load(std::memory_order_acquire) ||
+           std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+using DeadlinePtr = std::shared_ptr<DeadlineState>;
+
+/// A deadline `seconds` from now (seconds <= 0 means no time bound — the
+/// state is still cancellable).
+DeadlinePtr MakeDeadline(double seconds);
+
+/// The deadline governing the calling thread's current pass, or nullptr.
+const DeadlinePtr& CurrentPassDeadline();
+
+/// OK when no deadline is installed or the installed one has not expired;
+/// Status::DeadlineExceeded otherwise. The cooperative checkpoint —
+/// cheap enough for per-stage / per-length call sites (one atomic load +
+/// one clock read).
+Status CheckPassDeadline();
+
+/// \brief RAII installation of a pass deadline on the calling thread.
+/// Scopes nest; each restores the previous deadline on destruction.
+/// Installing nullptr masks any outer deadline for the scope.
+class ScopedPassDeadline {
+ public:
+  explicit ScopedPassDeadline(DeadlinePtr deadline);
+  ~ScopedPassDeadline();
+
+  ScopedPassDeadline(const ScopedPassDeadline&) = delete;
+  ScopedPassDeadline& operator=(const ScopedPassDeadline&) = delete;
+
+ private:
+  DeadlinePtr previous_;
+};
+
+}  // namespace triad
+
+#endif  // TRIAD_COMMON_DEADLINE_H_

@@ -1,0 +1,89 @@
+#ifndef TRIAD_COMMON_DURABLE_IO_H_
+#define TRIAD_COMMON_DURABLE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace triad::io {
+
+/// \file Crash-safe file primitives (ARCHITECTURE.md §10).
+///
+/// Three layers, each usable on its own:
+///
+///  1. **Crc32** — the integrity primitive every durable byte goes through.
+///  2. **AtomicWriteFile** — write-temp + fsync + rename, so a reader can
+///     never observe a half-written file: it sees the old bytes or the new
+///     bytes, nothing in between. Crashing mid-write leaves only a `.tmp`
+///     sibling that recovery ignores.
+///  3. **Record framing / checksummed blobs** — length+CRC framing for
+///     append-only logs (the tenant WAL) and magic+version+CRC headers for
+///     single-blob snapshots, with a torn-vs-corrupt distinction: a *torn*
+///     tail is the expected artifact of a crash mid-append and is silently
+///     dropped, while a *corrupt* interior record (bit flip, disk fault)
+///     is DataLoss and quarantines the owner.
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `len` bytes, chained from
+/// `seed` (pass a previous return value to checksum in pieces; 0 to start).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// \brief Writes `bytes` to `path` atomically: `path + ".tmp"` is written
+/// and fsync'd, then renamed over `path` (and the parent directory fsync'd
+/// so the rename itself survives a crash). Any failure leaves the previous
+/// `path` contents untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// Entire contents of `path` (IoError if unreadable).
+Result<std::string> ReadFileBytes(const std::string& path);
+
+// ---- record framing for append-only logs ----
+
+/// Appends one framed record to `out`:
+/// `[u32 payload_len][u32 crc32(payload)][payload]`.
+void AppendRecord(std::string* out, std::string_view payload);
+
+/// How a record scan ended.
+enum class RecordScanOutcome {
+  kClean = 0,  ///< every byte accounted for
+  kTornTail,   ///< the final record is incomplete (crash mid-append); the
+               ///< records before it are intact and returned
+  kCorrupt,    ///< an interior record failed its checksum (bit flip); the
+               ///< log is untrustworthy from that record on
+};
+
+const char* ToString(RecordScanOutcome outcome);
+
+struct RecordScan {
+  std::vector<std::string> records;  ///< the valid prefix, in order
+  RecordScanOutcome outcome = RecordScanOutcome::kClean;
+  int64_t valid_bytes = 0;  ///< bytes covered by `records` (replay offset)
+};
+
+/// Scans `bytes` as a sequence of framed records, returning the longest
+/// valid prefix and how the scan ended. Never fails: corruption is a
+/// reported outcome, not an error — the caller decides whether a torn tail
+/// is tolerable (it is, for a WAL) or a corrupt record is fatal (it is).
+RecordScan ScanRecords(std::string_view bytes);
+
+// ---- checksummed single-blob files (snapshots, manifests) ----
+
+/// Writes `[magic4][u32 version][u32 crc32(payload)][u64 len][payload]`
+/// atomically to `path`.
+Status WriteChecksummedFile(const std::string& path, const char magic[4],
+                            uint32_t version, std::string_view payload);
+
+/// Reads a file written by WriteChecksummedFile. Returns the payload, or
+///  * IoError — the file cannot be read (missing file included);
+///  * DataLoss — wrong magic, impossible header, truncated payload, or a
+///    checksum mismatch: the bytes are present but cannot be trusted.
+/// `version_out` (optional) receives the stored version on success.
+Result<std::string> ReadChecksummedFile(const std::string& path,
+                                        const char magic[4],
+                                        uint32_t* version_out = nullptr);
+
+}  // namespace triad::io
+
+#endif  // TRIAD_COMMON_DURABLE_IO_H_

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/deadline.h"
 #include "common/env.h"
 #include "common/metrics.h"
 
@@ -51,6 +52,10 @@ struct ThreadPool::Batch {
   int64_t num_chunks = 0;
   std::atomic<int64_t> next{0};
   std::atomic<bool> abort{false};
+  // The submitting thread's pass deadline, re-installed on every worker
+  // lane for the batch's duration so cooperative checkpoints inside task
+  // bodies observe the same budget as the caller (common/deadline.h).
+  DeadlinePtr deadline;
 
   std::mutex mu;
   std::condition_variable done_cv;
@@ -135,7 +140,10 @@ void ThreadPool::WorkerLoop() {
       seen_epoch = impl_->epoch;
     }
     tls_executing_pool = this;
-    ExecuteBatch(batch.get());
+    {
+      ScopedPassDeadline deadline(batch->deadline);
+      ExecuteBatch(batch.get());
+    }
     tls_executing_pool = nullptr;
   }
 }
@@ -164,6 +172,7 @@ void ThreadPool::RunChunks(int64_t num_chunks,
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->num_chunks = num_chunks;
+  batch->deadline = CurrentPassDeadline();
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->current = batch;

@@ -21,8 +21,18 @@ const char* StatusCodeToString(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
+}
+
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable;
 }
 
 std::string Status::ToString() const {

@@ -4,12 +4,14 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
-#include <sstream>
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/deadline.h"
+#include "common/durable_io.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/simd.h"
@@ -291,6 +293,11 @@ Result<DetectionResult> TriadDetector::Detect(
   if (n < window_length_) {
     return Status::InvalidArgument("test series shorter than one window");
   }
+  // Cooperative deadline checkpoints (common/deadline.h): one per pipeline
+  // stage, plus one per MERLIN length inside the sweep (discord.cc). A pass
+  // whose budget ran out fails with DeadlineExceeded at the next checkpoint
+  // instead of finishing late — recoverable, like a sanitize rejection.
+  TRIAD_RETURN_NOT_OK(CheckPassDeadline());
   TRIAD_ASSIGN_OR_RETURN(
       data::Sanitized clean,
       data::SanitizeSeries(test_series, config_.sanitize));
@@ -378,6 +385,7 @@ Result<DetectionResult> TriadDetector::Detect(
         }
       });
   result.encode_seconds = encode_span.Stop();
+  TRIAD_RETURN_NOT_OK(CheckPassDeadline());
 
   trace::TraceSpan tri_window_span("detector.tri_window");
   for (size_t di = 0; di < domains.size(); ++di) {
@@ -424,6 +432,7 @@ Result<DetectionResult> TriadDetector::Detect(
   result.tri_window_seconds = tri_window_span.Stop();
 
   // ---- stage 2: single-window selection against the training data ----
+  TRIAD_RETURN_NOT_OK(CheckPassDeadline());
   trace::TraceSpan selection_span("detector.selection");
   const std::set<int64_t> unique_candidates(result.candidate_windows.begin(),
                                             result.candidate_windows.end());
@@ -480,6 +489,7 @@ Result<DetectionResult> TriadDetector::Detect(
   result.selection_seconds = selection_span.Stop();
 
   // ---- stage 3: MERLIN discord search around the selected window ----
+  TRIAD_RETURN_NOT_OK(CheckPassDeadline());
   trace::TraceSpan discord_span("detector.discord");
   const int64_t w_start = result.window_starts[static_cast<size_t>(selected)];
   const int64_t pad = static_cast<int64_t>(std::llround(
@@ -688,6 +698,7 @@ Result<DetectionResult> TriadDetector::DetectEvents(
             config_.merlin_max_length_windows *
             static_cast<double>(window_length_))));
     if (max_len < config_.merlin_min_length) continue;
+    TRIAD_RETURN_NOT_OK(CheckPassDeadline());  // one checkpoint per region
     auto merlin = discord::Merlin(region, config_.merlin_min_length, max_len,
                                   config_.merlin_length_step);
     TRIAD_RETURN_NOT_OK(merlin.status());
@@ -713,8 +724,13 @@ namespace {
 constexpr char kCheckpointMagic[4] = {'T', 'R', 'D', 'T'};
 // Version 2 added the sanitize options, period-fallback config and the
 // graceful-degradation state (ARCHITECTURE.md §5); version-1 checkpoints
-// still load with the defaults for those fields.
-constexpr uint32_t kCheckpointVersion = 2;
+// still load with the defaults for those fields. Version 3 wraps the body
+// in a CRC32 + length header so torn or bit-flipped checkpoints fail Load
+// with DataLoss instead of silently decoding garbage, and Save writes the
+// whole file atomically (write-temp + fsync + rename) so a crash mid-save
+// can never leave a truncated file behind ModelRegistry warm-start
+// (ARCHITECTURE.md §10). v1/v2 checkpoints still load unverified.
+constexpr uint32_t kCheckpointVersion = 3;
 
 template <typename T>
 void WritePod(std::ostream& out, T value) {
@@ -820,29 +836,74 @@ Status TriadDetector::Save(const std::string& path) const {
   if (model_ == nullptr) {
     return Status::FailedPrecondition("Save called before Fit");
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
-  WritePod(out, kCheckpointVersion);
-  WriteConfig(out, config_);
-  WritePod(out, period_);
-  WritePod(out, window_length_);
-  WritePod(out, stride_);
-  WritePod(out, period_confidence_);
-  WritePod(out, static_cast<uint8_t>(period_fallback_));
-  WritePod(out, static_cast<uint8_t>(residual_disabled_));
-  WritePod(out, static_cast<uint64_t>(train_series_.size()));
-  out.write(reinterpret_cast<const char*>(train_series_.data()),
-            static_cast<std::streamsize>(train_series_.size() *
-                                         sizeof(double)));
+  std::ostringstream body(std::ios::binary);
+  WriteConfig(body, config_);
+  WritePod(body, period_);
+  WritePod(body, window_length_);
+  WritePod(body, stride_);
+  WritePod(body, period_confidence_);
+  WritePod(body, static_cast<uint8_t>(period_fallback_));
+  WritePod(body, static_cast<uint8_t>(residual_disabled_));
+  WritePod(body, static_cast<uint64_t>(train_series_.size()));
+  body.write(reinterpret_cast<const char*>(train_series_.data()),
+             static_cast<std::streamsize>(train_series_.size() *
+                                          sizeof(double)));
   std::vector<nn::Tensor> weights;
   for (const nn::Var& p : model_->Parameters()) weights.push_back(p.value());
-  TRIAD_RETURN_NOT_OK(nn::WriteTensors(out, weights));
-  if (!out) return Status::IoError("checkpoint write failed for " + path);
-  return Status::OK();
+  TRIAD_RETURN_NOT_OK(nn::WriteTensors(body, weights));
+  if (!body) return Status::IoError("checkpoint serialization failed");
+  return io::WriteChecksummedFile(path, kCheckpointMagic, kCheckpointVersion,
+                                  body.str());
 }
 
 Result<TriadDetector> TriadDetector::Load(const std::string& path) {
+  // Decoding the body is identical across versions; what differs is where
+  // the trusted bytes come from. v3+ files are a single checksummed blob —
+  // io::ReadChecksummedFile verifies the CRC before a single body byte is
+  // decoded, so torn or bit-flipped checkpoints surface as DataLoss (which
+  // ModelRegistry treats as quarantine-worthy) instead of misparsing.
+  // v1/v2 files stream-decode unverified, as they always have.
+  const auto parse_body = [&path](std::istream& in,
+                                  uint32_t version) -> Result<TriadDetector> {
+    TriadConfig config;
+    if (!ReadConfig(in, version, &config)) {
+      return Status::InvalidArgument("corrupt checkpoint config");
+    }
+    TriadDetector detector(config);
+    uint64_t train_size = 0;
+    if (!ReadPod(in, &detector.period_) ||
+        !ReadPod(in, &detector.window_length_) ||
+        !ReadPod(in, &detector.stride_)) {
+      return Status::InvalidArgument("corrupt checkpoint header");
+    }
+    if (version >= 2) {
+      uint8_t fallback, residual_off;
+      if (!ReadPod(in, &detector.period_confidence_) ||
+          !ReadPod(in, &fallback) || !ReadPod(in, &residual_off)) {
+        return Status::InvalidArgument("corrupt checkpoint header");
+      }
+      detector.period_fallback_ = fallback != 0;
+      detector.residual_disabled_ = residual_off != 0;
+    }
+    if (!ReadPod(in, &train_size) || train_size > (1ull << 32)) {
+      return Status::InvalidArgument("corrupt checkpoint header");
+    }
+    detector.train_series_.resize(static_cast<size_t>(train_size));
+    in.read(reinterpret_cast<char*>(detector.train_series_.data()),
+            static_cast<std::streamsize>(train_size * sizeof(double)));
+    if (!in) return Status::IoError("checkpoint truncated: " + path);
+    detector.train_mass_ =
+        std::make_shared<const discord::MassContext>(detector.train_series_);
+
+    Rng rng(config.seed);
+    detector.model_ = std::make_unique<TriadModel>(config, &rng);
+    TRIAD_ASSIGN_OR_RETURN(std::vector<nn::Tensor> weights,
+                           nn::ReadTensors(in));
+    TRIAD_RETURN_NOT_OK(
+        nn::AssignParameters(weights, detector.model_->Parameters()));
+    return detector;
+  };
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   char magic[4];
@@ -851,46 +912,20 @@ Result<TriadDetector> TriadDetector::Load(const std::string& path) {
     return Status::InvalidArgument("not a TriAD checkpoint: " + path);
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version < 1 || version > kCheckpointVersion) {
+  if (!ReadPod(in, &version) || version < 1) {
     return Status::InvalidArgument("unsupported checkpoint version");
   }
-  TriadConfig config;
-  if (!ReadConfig(in, version, &config)) {
-    return Status::InvalidArgument("corrupt checkpoint config");
+  if (version <= 2) return parse_body(in, version);
+  in.close();
+  uint32_t stored_version = 0;
+  TRIAD_ASSIGN_OR_RETURN(
+      std::string payload,
+      io::ReadChecksummedFile(path, kCheckpointMagic, &stored_version));
+  if (stored_version > kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
   }
-  TriadDetector detector(config);
-  uint64_t train_size = 0;
-  if (!ReadPod(in, &detector.period_) ||
-      !ReadPod(in, &detector.window_length_) ||
-      !ReadPod(in, &detector.stride_)) {
-    return Status::InvalidArgument("corrupt checkpoint header");
-  }
-  if (version >= 2) {
-    uint8_t fallback, residual_off;
-    if (!ReadPod(in, &detector.period_confidence_) ||
-        !ReadPod(in, &fallback) || !ReadPod(in, &residual_off)) {
-      return Status::InvalidArgument("corrupt checkpoint header");
-    }
-    detector.period_fallback_ = fallback != 0;
-    detector.residual_disabled_ = residual_off != 0;
-  }
-  if (!ReadPod(in, &train_size) || train_size > (1ull << 32)) {
-    return Status::InvalidArgument("corrupt checkpoint header");
-  }
-  detector.train_series_.resize(static_cast<size_t>(train_size));
-  in.read(reinterpret_cast<char*>(detector.train_series_.data()),
-          static_cast<std::streamsize>(train_size * sizeof(double)));
-  if (!in) return Status::IoError("checkpoint truncated: " + path);
-  detector.train_mass_ =
-      std::make_shared<const discord::MassContext>(detector.train_series_);
-
-  Rng rng(config.seed);
-  detector.model_ = std::make_unique<TriadModel>(config, &rng);
-  TRIAD_ASSIGN_OR_RETURN(std::vector<nn::Tensor> weights,
-                         nn::ReadTensors(in));
-  TRIAD_RETURN_NOT_OK(
-      nn::AssignParameters(weights, detector.model_->Parameters()));
-  return detector;
+  std::istringstream body(payload, std::ios::binary);
+  return parse_body(body, stored_version);
 }
 
 }  // namespace triad::core

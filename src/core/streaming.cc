@@ -251,4 +251,63 @@ Result<std::vector<AlarmEvent>> StreamingTriad::Append(
   return merged;
 }
 
+StreamingState StreamingTriad::ExportState() const {
+  StreamingState state;
+  state.total_points = total_points_;
+  state.passes = passes_;
+  state.failed_passes = failed_passes_;
+  state.since_last_pass = since_last_pass_;
+  state.buffer_global_start = buffer_global_start_;
+  state.buffer = buffer_;
+  state.alarms = alarms_;
+  state.gaps = gaps_;
+  return state;
+}
+
+Status StreamingTriad::RestoreState(const StreamingState& state) {
+  const int64_t buffered = static_cast<int64_t>(state.buffer.size());
+  if (state.total_points < 0 || state.passes < 0 ||
+      state.failed_passes < 0 || state.since_last_pass < 0 ||
+      state.buffer_global_start < 0) {
+    return Status::InvalidArgument("streaming state: negative counter");
+  }
+  if (static_cast<int64_t>(state.alarms.size()) != state.total_points) {
+    return Status::InvalidArgument(
+        "streaming state: timeline does not cover the stream");
+  }
+  if (state.buffer_global_start + buffered != state.total_points) {
+    return Status::InvalidArgument(
+        "streaming state: buffer is not the stream's tail");
+  }
+  if (buffered > buffer_length_) {
+    return Status::InvalidArgument(
+        "streaming state: buffer exceeds this stream's buffer_length");
+  }
+  for (const TimelineGap& gap : state.gaps) {
+    if (gap.begin < 0 || gap.end <= gap.begin ||
+        gap.end > state.total_points) {
+      return Status::InvalidArgument("streaming state: malformed gap span");
+    }
+  }
+  total_points_ = state.total_points;
+  passes_ = state.passes;
+  failed_passes_ = state.failed_passes;
+  since_last_pass_ = state.since_last_pass;
+  buffer_global_start_ = state.buffer_global_start;
+  buffer_ = state.buffer;
+  alarms_ = state.alarms;
+  gaps_ = state.gaps;
+  // The ring always mirrors the buffer exactly, so rebuilding it from the
+  // restored buffer reproduces the integer-exact non-finite count (the only
+  // ring output that feeds a control decision).
+  ring_ = RollingStatsRing(buffer_length_);
+  for (double value : buffer_) ring_.Push(value);
+  // The memo is a cache, not state: drop it and claim a fresh identity so
+  // stale global keys from the pre-restore life cannot alias.
+  memo_ = DetectMemo();
+  stream_uid_ = NextStreamUid();
+  memo_.BindStream(stream_uid_);
+  return Status::OK();
+}
+
 }  // namespace triad::core

@@ -24,6 +24,27 @@ struct TimelineGap {
   int64_t end = 0;    ///< exclusive
 };
 
+/// \brief The complete resumable state of a StreamingTriad, as plain data.
+///
+/// Everything Append consults when deciding what the next pass does —
+/// buffer contents and position, hop phase, the alarm timeline, gaps and
+/// pass counters — so a stream restored from an exported state produces
+/// bit-identical output to one that never stopped (the serve layer's
+/// recovery contract, ARCHITECTURE.md §10). Deliberately NOT included:
+/// the DetectMemo (a pure cache — dropping it costs one warm-up pass of
+/// recompute, never a different answer) and the stream uid (identity is
+/// per-process; RestoreState binds a fresh one).
+struct StreamingState {
+  int64_t total_points = 0;
+  int64_t passes = 0;
+  int64_t failed_passes = 0;
+  int64_t since_last_pass = 0;
+  int64_t buffer_global_start = 0;
+  std::vector<double> buffer;
+  std::vector<int> alarms;
+  std::vector<TimelineGap> gaps;
+};
+
 /// \brief Options for StreamingTriad.
 struct StreamingOptions {
   /// Points scored per inference pass; 0 = 4 windows of the detector.
@@ -163,6 +184,22 @@ class StreamingTriad {
   /// memo can never be (mis)used for another stream whose global keys
   /// alias this one's (see DetectMemo::BindStream, ARCHITECTURE.md §9).
   uint64_t stream_uid() const { return stream_uid_; }
+
+  /// \brief Snapshot of the resumable state (see StreamingState). Cheap
+  /// relative to a pass: copies the buffer, timeline and gap list.
+  StreamingState ExportState() const;
+
+  /// \brief Replaces this stream's state with `state`, as if every point in
+  /// it had been appended here. Validates internal consistency
+  /// (InvalidArgument on a state that could not have been produced by
+  /// ExportState against this detector's geometry): the timeline must cover
+  /// exactly `total_points`, the buffer must be the stream's tail and fit
+  /// `buffer_length()`, counters must be non-negative. The rolling stats
+  /// ring is rebuilt from the buffer (exact — ring contents are always
+  /// identical to buffer contents) and the memo is cleared and bound to a
+  /// fresh stream uid, so subsequent passes are bit-identical to an
+  /// uninterrupted stream's, at worst one warm-up pass slower.
+  Status RestoreState(const StreamingState& state);
 
  private:
   const TriadDetector* detector_;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stats.h"
@@ -462,6 +463,14 @@ Result<MerlinResult> RunMerlin(const std::vector<double>& series,
       [&](int64_t b, int64_t e) {
         Accum local;
         for (int64_t k = b; k < e; ++k) {
+          // Cooperative deadline checkpoint, once per length: a sweep that
+          // outlives its pass budget stops starting new lengths and
+          // surfaces DeadlineExceeded through the usual error fold.
+          Status deadline = CheckPassDeadline();
+          if (!deadline.ok()) {
+            if (local.first_error.ok()) local.first_error = deadline;
+            break;
+          }
           LengthOutcome one = SearchOneLength(
               mass, lengths[static_cast<size_t>(k)], phase2);
           if (!one.status.ok() && local.first_error.ok()) {

@@ -1,0 +1,302 @@
+#include "serve/durability.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace triad::serve {
+namespace {
+
+constexpr char kManifestMagic[4] = {'T', 'R', 'M', 'F'};
+constexpr uint32_t kManifestVersion = 1;
+constexpr char kSnapshotMagic[4] = {'T', 'R', 'S', 'N'};
+constexpr uint32_t kSnapshotVersion = 1;
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+// Sequential POD reader over a decoded payload; `ok` latches false on the
+// first short read so decoders can chain reads and test once.
+struct PayloadReader {
+  std::string_view bytes;
+  size_t offset = 0;
+  bool ok = true;
+
+  template <typename T>
+  T Read() {
+    T value{};
+    if (!ok || offset + sizeof(T) > bytes.size()) {
+      ok = false;
+      return value;
+    }
+    std::memcpy(&value, bytes.data() + offset, sizeof(T));
+    offset += sizeof(T);
+    return value;
+  }
+
+  bool ReadRaw(void* dst, size_t len) {
+    if (!ok || offset + len > bytes.size()) return ok = false;
+    std::memcpy(dst, bytes.data() + offset, len);
+    offset += len;
+    return true;
+  }
+};
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendPod(out, static_cast<uint64_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadString(PayloadReader* r, std::string* s) {
+  const auto len = r->Read<uint64_t>();
+  if (!r->ok || len > (1ull << 20)) return r->ok = false;
+  s->resize(static_cast<size_t>(len));
+  return r->ReadRaw(s->data(), static_cast<size_t>(len));
+}
+
+}  // namespace
+
+std::string TenantDir(const std::string& root, int64_t id) {
+  return root + "/tenant_" + std::to_string(id);
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::IoError("mkdir " + dir + " failed: " + std::strerror(errno));
+}
+
+Status WriteManifest(const std::string& root, const FleetManifest& manifest) {
+  std::string payload;
+  AppendPod(&payload, manifest.next_id);
+  AppendPod(&payload, static_cast<uint64_t>(manifest.tenants.size()));
+  for (const TenantManifestEntry& t : manifest.tenants) {
+    AppendPod(&payload, t.id);
+    AppendString(&payload, t.model_key);
+    AppendPod(&payload, t.buffer_length);
+    AppendPod(&payload, t.hop);
+    AppendPod(&payload, static_cast<uint8_t>(t.incremental));
+  }
+  return io::WriteChecksummedFile(root + "/manifest", kManifestMagic,
+                                  kManifestVersion, payload);
+}
+
+Result<FleetManifest> ReadManifest(const std::string& root) {
+  uint32_t version = 0;
+  TRIAD_ASSIGN_OR_RETURN(
+      std::string payload,
+      io::ReadChecksummedFile(root + "/manifest", kManifestMagic, &version));
+  if (version != kManifestVersion) {
+    return Status::InvalidArgument("unsupported manifest version");
+  }
+  PayloadReader r{payload};
+  FleetManifest manifest;
+  manifest.next_id = r.Read<int64_t>();
+  const auto count = r.Read<uint64_t>();
+  // The CRC already vouched for the bytes; a decode inconsistency past it
+  // means the writer was broken, which is still data loss to the reader.
+  if (!r.ok || count > (1ull << 20)) {
+    return Status::DataLoss("manifest decodes inconsistently");
+  }
+  manifest.tenants.resize(static_cast<size_t>(count));
+  for (TenantManifestEntry& t : manifest.tenants) {
+    t.id = r.Read<int64_t>();
+    if (!ReadString(&r, &t.model_key)) break;
+    t.buffer_length = r.Read<int64_t>();
+    t.hop = r.Read<int64_t>();
+    t.incremental = r.Read<uint8_t>() != 0;
+  }
+  if (!r.ok || r.offset != payload.size()) {
+    return Status::DataLoss("manifest decodes inconsistently");
+  }
+  return manifest;
+}
+
+Status WriteTenantSnapshot(const std::string& root, int64_t id,
+                           const TenantDurableState& state) {
+  const core::StreamingState& s = state.stream;
+  std::string payload;
+  payload.reserve(128 + s.buffer.size() * sizeof(double) + s.alarms.size());
+  AppendPod(&payload, state.chunks_applied_seq);
+  AppendPod(&payload, state.rung);
+  AppendPod(&payload, state.qos_next);
+  AppendPod(&payload, state.qos_count);
+  AppendPod(&payload, state.probation_counter);
+  payload.append(reinterpret_cast<const char*>(state.qos_outcomes.data()),
+                 state.qos_outcomes.size());
+  AppendPod(&payload, s.total_points);
+  AppendPod(&payload, s.passes);
+  AppendPod(&payload, s.failed_passes);
+  AppendPod(&payload, s.since_last_pass);
+  AppendPod(&payload, s.buffer_global_start);
+  AppendPod(&payload, static_cast<uint64_t>(s.buffer.size()));
+  payload.append(reinterpret_cast<const char*>(s.buffer.data()),
+                 s.buffer.size() * sizeof(double));
+  // The timeline is 0/1; one byte per point keeps snapshots 4x smaller
+  // than the in-memory std::vector<int>.
+  AppendPod(&payload, static_cast<uint64_t>(s.alarms.size()));
+  for (int a : s.alarms) payload.push_back(a != 0 ? 1 : 0);
+  AppendPod(&payload, static_cast<uint64_t>(s.gaps.size()));
+  for (const core::TimelineGap& gap : s.gaps) {
+    AppendPod(&payload, gap.begin);
+    AppendPod(&payload, gap.end);
+  }
+  return io::WriteChecksummedFile(TenantDir(root, id) + "/snapshot",
+                                  kSnapshotMagic, kSnapshotVersion, payload);
+}
+
+Result<TenantDurableState> ReadTenantSnapshot(const std::string& root,
+                                              int64_t id) {
+  uint32_t version = 0;
+  TRIAD_ASSIGN_OR_RETURN(
+      std::string payload,
+      io::ReadChecksummedFile(TenantDir(root, id) + "/snapshot",
+                              kSnapshotMagic, &version));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  PayloadReader r{payload};
+  TenantDurableState state;
+  state.chunks_applied_seq = r.Read<uint64_t>();
+  state.rung = r.Read<uint8_t>();
+  state.qos_next = r.Read<int64_t>();
+  state.qos_count = r.Read<int64_t>();
+  state.probation_counter = r.Read<int64_t>();
+  r.ReadRaw(state.qos_outcomes.data(), state.qos_outcomes.size());
+  core::StreamingState& s = state.stream;
+  s.total_points = r.Read<int64_t>();
+  s.passes = r.Read<int64_t>();
+  s.failed_passes = r.Read<int64_t>();
+  s.since_last_pass = r.Read<int64_t>();
+  s.buffer_global_start = r.Read<int64_t>();
+  const auto buffer_n = r.Read<uint64_t>();
+  if (!r.ok || buffer_n > (1ull << 32)) {
+    return Status::DataLoss("snapshot decodes inconsistently");
+  }
+  s.buffer.resize(static_cast<size_t>(buffer_n));
+  r.ReadRaw(s.buffer.data(), s.buffer.size() * sizeof(double));
+  const auto alarms_n = r.Read<uint64_t>();
+  if (!r.ok || alarms_n > (1ull << 40)) {
+    return Status::DataLoss("snapshot decodes inconsistently");
+  }
+  s.alarms.resize(static_cast<size_t>(alarms_n));
+  for (int& a : s.alarms) a = r.Read<uint8_t>() != 0 ? 1 : 0;
+  const auto gaps_n = r.Read<uint64_t>();
+  if (!r.ok || gaps_n > (1ull << 32)) {
+    return Status::DataLoss("snapshot decodes inconsistently");
+  }
+  s.gaps.resize(static_cast<size_t>(gaps_n));
+  for (core::TimelineGap& gap : s.gaps) {
+    gap.begin = r.Read<int64_t>();
+    gap.end = r.Read<int64_t>();
+  }
+  if (!r.ok || r.offset != payload.size()) {
+    return Status::DataLoss("snapshot decodes inconsistently");
+  }
+  return state;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(other.fd_), fsync_each_(other.fsync_each_) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    fsync_each_ = other.fsync_each_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path, bool fsync_each) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  WalWriter writer;
+  writer.fd_ = fd;
+  writer.fsync_each_ = fsync_each;
+  return writer;
+}
+
+Status WalWriter::Append(uint64_t seq, const double* points, size_t count) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  std::string payload;
+  payload.reserve(2 * sizeof(uint64_t) + count * sizeof(double));
+  AppendPod(&payload, seq);
+  AppendPod(&payload, static_cast<uint64_t>(count));
+  payload.append(reinterpret_cast<const char*>(points),
+                 count * sizeof(double));
+  std::string record;
+  io::AppendRecord(&record, payload);
+  size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n =
+        ::write(fd_, record.data() + written, record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A short O_APPEND write can leave a torn tail; recovery drops it,
+      // exactly as it would after a crash. Unavailable = retryable.
+      return Status::Unavailable(std::string("WAL append failed: ") +
+                                 std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    return Status::Unavailable(std::string("WAL fsync failed: ") +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WalReplay> ReadWal(const std::string& path) {
+  WalReplay replay;
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 && errno == ENOENT) {
+    return replay;  // no WAL yet: empty clean replay
+  }
+  TRIAD_ASSIGN_OR_RETURN(std::string bytes, io::ReadFileBytes(path));
+  io::RecordScan scan = io::ScanRecords(bytes);
+  replay.outcome = scan.outcome;
+  replay.valid_bytes = scan.valid_bytes;
+  uint64_t last_seq = 0;
+  for (const std::string& record : scan.records) {
+    PayloadReader r{record};
+    WalChunk chunk;
+    chunk.seq = r.Read<uint64_t>();
+    const auto count = r.Read<uint64_t>();
+    if (!r.ok || count > (1ull << 32) ||
+        record.size() != 2 * sizeof(uint64_t) + count * sizeof(double) ||
+        chunk.seq <= last_seq) {
+      // Framed and checksummed yet nonsensical: the writer (or the disk,
+      // in a way CRC missed) lied. Treat like interior corruption.
+      replay.outcome = io::RecordScanOutcome::kCorrupt;
+      return replay;
+    }
+    last_seq = chunk.seq;
+    chunk.points.resize(static_cast<size_t>(count));
+    r.ReadRaw(chunk.points.data(), chunk.points.size() * sizeof(double));
+    replay.chunks.push_back(std::move(chunk));
+  }
+  return replay;
+}
+
+}  // namespace triad::serve

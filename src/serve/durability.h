@@ -1,0 +1,159 @@
+#ifndef TRIAD_SERVE_DURABILITY_H_
+#define TRIAD_SERVE_DURABILITY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/durable_io.h"
+#include "common/status.h"
+#include "core/streaming.h"
+
+namespace triad::serve {
+
+/// \file On-disk formats for the crash-safe fleet (ARCHITECTURE.md §10).
+///
+/// A durable fleet keeps, under one root directory:
+///
+///   <root>/manifest             checksummed blob: the tenant roster
+///   <root>/tenant_<id>/snapshot checksummed blob: resumable tenant state
+///   <root>/tenant_<id>/wal      framed records: every admitted chunk
+///
+/// The recovery contract: *WAL before queue*. Ingest appends an admitted
+/// chunk to the tenant's WAL (fsync'd) before it ever enters the in-memory
+/// queue, and a snapshot records the WAL sequence number up to which its
+/// stream state already contains the chunks. FleetServer::Recover therefore
+/// rebuilds each tenant as snapshot-state + replay of WAL records after the
+/// snapshot's sequence — and because StreamingTriad is chunking-invariant
+/// and replay uses the exact admitted chunks, the recovered alarm timeline
+/// is bit-identical to an uninterrupted run's.
+///
+/// Failure taxonomy (enforced by tests/serve_chaos_test.cc):
+///  * torn WAL tail — the expected artifact of a crash mid-append: the
+///    partial record is dropped and the intact prefix replays;
+///  * corrupt WAL interior / snapshot that fails validation — bit rot, not
+///    a crash: the tenant is quarantined, never half-recovered;
+///  * corrupt snapshot checksum — recovery falls back to replaying the
+///    whole WAL from an empty stream (slower, still bit-identical), since
+///    the WAL is never truncated at snapshot time;
+///  * corrupt manifest — nothing can be recovered; Recover returns the
+///    DataLoss.
+
+/// \brief Durability knobs, embedded in FleetOptions.
+struct DurabilityOptions {
+  /// Root directory for manifest/snapshots/WALs. Empty = durability off
+  /// (the fleet behaves exactly as before this layer existed).
+  std::string dir;
+  /// A tenant is re-snapshotted once it has run at least this many passes
+  /// (clean + failed) since its last snapshot. Snapshots happen at the end
+  /// of the Drain that crossed the threshold; Checkpoint() forces one.
+  int64_t snapshot_every_passes = 8;
+  /// fsync the WAL after every appended record. On by default — turning it
+  /// off trades the crash-recovery guarantee for ingest throughput.
+  bool fsync_wal = true;
+};
+
+/// \brief Everything a tenant snapshot persists beyond the stream itself:
+/// the QoS ladder position (so admission behaviour survives a restart) and
+/// the WAL watermark that makes replay idempotent.
+struct TenantDurableState {
+  core::StreamingState stream;
+  uint8_t rung = 0;  ///< QosRung as stored
+  std::array<uint8_t, 64> qos_outcomes{};
+  int64_t qos_next = 0;
+  int64_t qos_count = 0;
+  int64_t probation_counter = 0;
+  /// WAL records with seq <= this are already reflected in `stream`;
+  /// recovery replays strictly greater sequences.
+  uint64_t chunks_applied_seq = 0;
+};
+
+/// \brief One tenant's row in the fleet manifest — enough to rebuild the
+/// TenantState shell before its snapshot/WAL are consulted.
+struct TenantManifestEntry {
+  int64_t id = 0;
+  /// ModelRegistry key (a checkpoint path for warm-started tenants).
+  std::string model_key;
+  /// Resolved streaming geometry (not the 0-means-default spellings).
+  int64_t buffer_length = 0;
+  int64_t hop = 0;
+  bool incremental = true;
+};
+
+struct FleetManifest {
+  int64_t next_id = 1;
+  std::vector<TenantManifestEntry> tenants;
+};
+
+/// `<root>/tenant_<id>` (no trailing slash).
+std::string TenantDir(const std::string& root, int64_t id);
+
+/// Creates `dir` if missing (parents must exist). OK when already present.
+Status EnsureDir(const std::string& dir);
+
+Status WriteManifest(const std::string& root, const FleetManifest& manifest);
+/// IoError when no manifest exists; DataLoss when it fails its checksum or
+/// decodes inconsistently.
+Result<FleetManifest> ReadManifest(const std::string& root);
+
+Status WriteTenantSnapshot(const std::string& root, int64_t id,
+                           const TenantDurableState& state);
+/// IoError when the tenant has no snapshot yet (recover from WAL alone);
+/// DataLoss when the snapshot is torn or bit-flipped.
+Result<TenantDurableState> ReadTenantSnapshot(const std::string& root,
+                                              int64_t id);
+
+/// \brief Append-only writer for one tenant's chunk WAL.
+///
+/// Each record is `io::AppendRecord`-framed; the payload is
+/// `[u64 seq][u64 n][n doubles]`. Appends are written whole and (by
+/// default) fsync'd before returning, so after a crash the file is a clean
+/// prefix of admitted chunks plus at most one torn tail.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending (created if missing).
+  static Result<WalWriter> Open(const std::string& path, bool fsync_each);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one framed chunk record; Unavailable on a write/fsync failure
+  /// (transient by the Status taxonomy — the caller may retry).
+  Status Append(uint64_t seq, const double* points, size_t count);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  bool fsync_each_ = true;
+};
+
+/// One decoded WAL record.
+struct WalChunk {
+  uint64_t seq = 0;
+  std::vector<double> points;
+};
+
+struct WalReplay {
+  std::vector<WalChunk> chunks;  ///< the valid prefix, in append order
+  io::RecordScanOutcome outcome = io::RecordScanOutcome::kClean;
+  int64_t valid_bytes = 0;  ///< where a torn tail may be truncated away
+};
+
+/// Reads and scans a tenant WAL. A missing file is an empty clean replay
+/// (a tenant that never ingested durably). Framing corruption is reported
+/// through `outcome`, never as an error; a record that frames correctly
+/// but decodes inconsistently (impossible lengths, non-monotonic seq) is
+/// reported as kCorrupt.
+Result<WalReplay> ReadWal(const std::string& path);
+
+}  // namespace triad::serve
+
+#endif  // TRIAD_SERVE_DURABILITY_H_

@@ -1,17 +1,25 @@
 #include "serve/fleet_server.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <new>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/deadline.h"
+#include "common/env.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/timer.h"
 
 namespace triad::serve {
 namespace {
@@ -39,6 +47,24 @@ struct FleetMetrics {
       metrics::Registry::Global().counter("serve.append_errors");
   metrics::Histogram* pass_seconds =
       metrics::Registry::Global().histogram("serve.pass_seconds");
+  metrics::Counter* wal_records =
+      metrics::Registry::Global().counter("serve.wal_records");
+  metrics::Counter* wal_failures =
+      metrics::Registry::Global().counter("serve.wal_failures");
+  metrics::Counter* snapshots =
+      metrics::Registry::Global().counter("serve.snapshots");
+  metrics::Counter* transient_retries =
+      metrics::Registry::Global().counter("serve.transient_retries");
+  metrics::Counter* deadline_expired =
+      metrics::Registry::Global().counter("serve.deadline_expired_passes");
+  metrics::Counter* watchdog_cancels =
+      metrics::Registry::Global().counter("serve.watchdog_cancels");
+  metrics::Counter* admission_alloc_failures =
+      metrics::Registry::Global().counter("serve.admission_alloc_failures");
+  metrics::Counter* quarantined =
+      metrics::Registry::Global().counter("serve.quarantined_tenants");
+  metrics::Histogram* recovery_seconds =
+      metrics::Registry::Global().histogram("serve.recovery_seconds");
 };
 
 FleetMetrics& Instruments() {
@@ -52,7 +78,15 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+ServeTestHooks g_test_hooks;
+
 }  // namespace
+
+void SetServeTestHooks(ServeTestHooks hooks) {
+  g_test_hooks = std::move(hooks);
+}
+
+void ClearServeTestHooks() { g_test_hooks = ServeTestHooks(); }
 
 const std::vector<ExecutionStrategy::Enum>& ExecutionStrategy::all() {
   static const std::vector<Enum> kAll = {kSingleCoreInline, kMultiCoreSharded};
@@ -113,11 +147,16 @@ struct TenantState {
   int64_t id = 0;
   std::shared_ptr<const core::TriadDetector> detector;  // keeps model alive
   int64_t max_pending_points = 0;
+  std::string model_key;  // manifest row; immutable after registration
 
   std::mutex queue_mu;
   std::deque<std::vector<double>> pending;  // ingest order
   int64_t pending_points = 0;               // guarded by queue_mu
   int64_t probation_counter = 0;            // guarded by queue_mu
+  // Durable ingest (guarded by queue_mu): the WAL an admitted chunk hits
+  // before it enters `pending`, and the seq the next chunk will carry.
+  WalWriter wal;
+  uint64_t wal_next_seq = 0;  // seq of the last record written
 
   mutable std::mutex state_mu;
   core::StreamingTriad stream;  // guarded by state_mu
@@ -127,6 +166,9 @@ struct TenantState {
   std::array<uint8_t, 64> qos_outcomes{};  // guarded by state_mu
   int64_t qos_next = 0;
   int64_t qos_count = 0;
+  // WAL records with seq <= this are reflected in `stream` (state_mu).
+  uint64_t chunks_applied_seq = 0;
+  int64_t passes_at_last_snapshot = 0;  // snapshot cadence (state_mu)
   metrics::Histogram* pass_hist = nullptr;
 
   // Written by Drain under state_mu, read lock-free by Ingest.
@@ -136,6 +178,37 @@ struct TenantState {
               const core::StreamingOptions& streaming)
       : detector(std::move(d)), stream(detector.get(), streaming) {}
 };
+
+namespace {
+
+// Slides the QoS window by one drain slice's outcomes and recomputes the
+// rung — a pure function of the tenant's own pass history. Caller holds
+// state_mu. Shared by Drain and WAL replay so recovered tenants land on
+// the same rung the same history produces live.
+void UpdateQos(TenantState& t, int64_t passes_run, int64_t failed,
+               const FleetOptions& options) {
+  for (int64_t i = 0; i < passes_run; ++i) {
+    t.qos_outcomes[static_cast<size_t>(t.qos_next)] = i < failed ? 1 : 0;
+    t.qos_next = (t.qos_next + 1) % options.qos_window;
+    t.qos_count = std::min(t.qos_count + 1, options.qos_window);
+  }
+  if (t.qos_count < options.qos_min_passes) return;
+  int64_t failures = 0;
+  for (int64_t i = 0; i < t.qos_count; ++i) {
+    failures += t.qos_outcomes[static_cast<size_t>(i)];
+  }
+  const double fraction =
+      static_cast<double>(failures) / static_cast<double>(t.qos_count);
+  QosRung next = QosRung::kHealthy;
+  if (fraction >= options.reject_failure_fraction) {
+    next = QosRung::kRejecting;
+  } else if (fraction >= options.degrade_failure_fraction) {
+    next = QosRung::kDegraded;
+  }
+  t.rung.store(static_cast<int>(next), std::memory_order_release);
+}
+
+}  // namespace
 
 struct FleetServer::Impl {
   mutable std::mutex registry_mu;  // guards tenants map + next_id
@@ -158,6 +231,26 @@ struct FleetServer::Impl {
   std::atomic<uint64_t> single_core_groups{0};
   std::atomic<uint64_t> multi_core_groups{0};
   std::atomic<uint64_t> append_errors{0};
+  std::atomic<uint64_t> wal_records{0};
+  std::atomic<uint64_t> wal_failures{0};
+  std::atomic<uint64_t> snapshots{0};
+  std::atomic<uint64_t> transient_retries{0};
+  std::atomic<uint64_t> deadline_expired{0};
+  std::atomic<uint64_t> watchdog_cancels{0};
+  std::atomic<uint64_t> admission_alloc_failures{0};
+
+  // The pass budget after the TRIAD_PASS_DEADLINE override; 0 = none.
+  double pass_deadline_seconds = 0.0;
+
+  // Watchdog (runs only when a pass budget is set): Drain registers each
+  // in-flight slice's DeadlineState here; the thread cancels any that blew
+  // past their budget without reaching a checkpoint, so even a pass stuck
+  // in code that only polls the cancellation flag gets cut loose.
+  std::mutex watchdog_mu;
+  std::map<int64_t, DeadlinePtr> active_passes;  // tenant id -> deadline
+  std::condition_variable watchdog_cv;
+  bool watchdog_stop = false;
+  std::thread watchdog;
 };
 
 FleetServer::FleetServer(FleetOptions options)
@@ -170,9 +263,62 @@ FleetServer::FleetServer(FleetOptions options)
   options_.qos_window = std::clamp<int64_t>(options_.qos_window, 1, 64);
   options_.qos_min_passes =
       std::clamp<int64_t>(options_.qos_min_passes, 1, options_.qos_window);
+  impl_->pass_deadline_seconds = GetEnvDouble("TRIAD_PASS_DEADLINE",
+                                              options_.pass_deadline_seconds);
+  if (impl_->pass_deadline_seconds > 0.0) {
+    impl_->watchdog = std::thread([this] {
+      const auto poll = std::chrono::duration<double>(
+          std::max(impl_->pass_deadline_seconds / 4.0, 0.001));
+      std::unique_lock<std::mutex> lock(impl_->watchdog_mu);
+      while (!impl_->watchdog_stop) {
+        impl_->watchdog_cv.wait_for(lock, poll);
+        for (auto& [id, deadline] : impl_->active_passes) {
+          if (std::chrono::steady_clock::now() < deadline->deadline) continue;
+          if (deadline->cancelled.exchange(true,
+                                           std::memory_order_acq_rel)) {
+            continue;  // already cancelled (or self-expired and noticed)
+          }
+          impl_->watchdog_cancels.fetch_add(1, std::memory_order_relaxed);
+          Instruments().watchdog_cancels->Increment();
+        }
+      }
+    });
+  }
 }
 
-FleetServer::~FleetServer() { delete impl_; }
+FleetServer::~FleetServer() {
+  if (impl_->watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->watchdog_mu);
+      impl_->watchdog_stop = true;
+    }
+    impl_->watchdog_cv.notify_all();
+    impl_->watchdog.join();
+  }
+  delete impl_;
+}
+
+namespace {
+
+// The manifest row set for the current roster. Caller holds registry_mu.
+FleetManifest ComposeManifest(
+    int64_t next_id,
+    const std::map<int64_t, std::shared_ptr<TenantState>>& tenants) {
+  FleetManifest manifest;
+  manifest.next_id = next_id;
+  for (const auto& [id, tenant] : tenants) {
+    TenantManifestEntry entry;
+    entry.id = id;
+    entry.model_key = tenant->model_key;
+    entry.buffer_length = tenant->stream.buffer_length();
+    entry.hop = tenant->stream.hop();
+    entry.incremental = tenant->stream.incremental();
+    manifest.tenants.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+}  // namespace
 
 Result<int64_t> FleetServer::AddTenant(
     std::shared_ptr<const core::TriadDetector> detector,
@@ -184,8 +330,15 @@ Result<int64_t> FleetServer::AddTenant(
     return Status::FailedPrecondition(
         "AddTenant: detector is not fitted (call Fit or Load first)");
   }
+  const bool durable = !options_.durability.dir.empty();
+  if (durable && options.model_key.empty()) {
+    return Status::InvalidArgument(
+        "AddTenant: a durable fleet needs TenantOptions::model_key so "
+        "Recover can re-resolve the detector");
+  }
   auto tenant =
       std::make_shared<TenantState>(std::move(detector), options.streaming);
+  tenant->model_key = options.model_key;
   std::lock_guard<std::mutex> lock(impl_->registry_mu);
   if (static_cast<int64_t>(impl_->tenants.size()) >= options_.max_tenants) {
     return Status::OutOfRange("AddTenant: fleet is full (max_tenants = " +
@@ -199,7 +352,23 @@ Result<int64_t> FleetServer::AddTenant(
           : 8 * tenant->stream.buffer_length();
   tenant->pass_hist = metrics::Registry::Global().histogram(
       "serve.tenant." + std::to_string(id) + ".pass_seconds");
+  if (durable) {
+    const std::string& root = options_.durability.dir;
+    TRIAD_RETURN_NOT_OK(EnsureDir(root));
+    TRIAD_RETURN_NOT_OK(EnsureDir(TenantDir(root, id)));
+    TRIAD_ASSIGN_OR_RETURN(tenant->wal,
+                           WalWriter::Open(TenantDir(root, id) + "/wal",
+                                           options_.durability.fsync_wal));
+  }
   impl_->tenants.emplace(id, std::move(tenant));
+  if (durable) {
+    // Manifest after the roster change: a crash right here recovers the
+    // tenant as empty (its WAL has no records yet), which is exactly what
+    // it is.
+    TRIAD_RETURN_NOT_OK(WriteManifest(
+        options_.durability.dir,
+        ComposeManifest(impl_->next_id, impl_->tenants)));
+  }
   Instruments().tenants->Set(static_cast<double>(impl_->tenants.size()));
   return id;
 }
@@ -213,6 +382,7 @@ Result<int64_t> FleetServer::AddTenantFromCheckpoint(
   }
   TRIAD_ASSIGN_OR_RETURN(auto detector,
                          registry->LoadCheckpoint(checkpoint_path));
+  if (options.model_key.empty()) options.model_key = checkpoint_path;
   return AddTenant(std::move(detector), options);
 }
 
@@ -226,6 +396,13 @@ Status FleetServer::RemoveTenant(int64_t id) {
     }
     tenant = std::move(it->second);
     impl_->tenants.erase(it);
+    if (!options_.durability.dir.empty()) {
+      // Drop the tenant from the roster; its files stay on disk (recovery
+      // is manifest-driven, so they are simply never consulted again).
+      TRIAD_RETURN_NOT_OK(WriteManifest(
+          options_.durability.dir,
+          ComposeManifest(impl_->next_id, impl_->tenants)));
+    }
     Instruments().tenants->Set(static_cast<double>(impl_->tenants.size()));
   }
   // Return the tenant's undrained chunks to the fleet budget. A drain
@@ -297,8 +474,46 @@ Result<IngestStatus> FleetServer::Ingest(int64_t id,
     Instruments().rejected->Increment();
     return IngestStatus::kRejected;
   }
-  tenant->pending_points += static_cast<int64_t>(points.size());
-  tenant->pending.push_back(points);
+  // Write-ahead: an admitted chunk hits the tenant's WAL (fsync'd) before
+  // it enters the in-memory queue, so at every instant the WAL holds a
+  // superset of what the queue ever held — a crash between the two loses
+  // nothing (the chunk replays) and the reverse order would lose the chunk.
+  if (tenant->wal.is_open()) {
+    const uint64_t seq = tenant->wal_next_seq + 1;
+    const Status logged = tenant->wal.Append(seq, points.data(),
+                                             points.size());
+    if (!logged.ok()) {
+      impl_->queue_chunks.fetch_sub(1, std::memory_order_relaxed);
+      impl_->wal_failures.fetch_add(1, std::memory_order_relaxed);
+      Instruments().wal_failures->Increment();
+      impl_->rejected.fetch_add(1, std::memory_order_relaxed);
+      Instruments().rejected->Increment();
+      return IngestStatus::kRejected;
+    }
+    tenant->wal_next_seq = seq;
+    impl_->wal_records.fetch_add(1, std::memory_order_relaxed);
+    Instruments().wal_records->Increment();
+  }
+  try {
+    if (g_test_hooks.admission_alloc_fail != nullptr &&
+        g_test_hooks.admission_alloc_fail(id)) {
+      throw std::bad_alloc();
+    }
+    tenant->pending_points += static_cast<int64_t>(points.size());
+    tenant->pending.push_back(points);
+  } catch (const std::bad_alloc&) {
+    // Enqueue allocation failure: the reservation is rolled back and the
+    // chunk rejected — but if it reached the WAL it stays there, so a
+    // recovery replays it (admission promised durability the moment the
+    // record was fsync'd). pending_points was not yet updated, so the
+    // ledger stays exact.
+    impl_->queue_chunks.fetch_sub(1, std::memory_order_relaxed);
+    impl_->admission_alloc_failures.fetch_add(1, std::memory_order_relaxed);
+    Instruments().admission_alloc_failures->Increment();
+    impl_->rejected.fetch_add(1, std::memory_order_relaxed);
+    Instruments().rejected->Increment();
+    return IngestStatus::kRejected;
+  }
   impl_->queue_points.fetch_add(static_cast<int64_t>(points.size()),
                                 std::memory_order_relaxed);
   Instruments().queue_depth->Add(1.0);
@@ -322,6 +537,9 @@ struct DrainItem {
   int64_t chunk_count = 0;
   int64_t point_count = 0;
   int64_t passes_run = 0;  // clean + failed, filled in by the pass
+  // WAL seq of the last claimed chunk: the applied watermark after this
+  // slice (chunks apply in seq order, so claiming is contiguous).
+  uint64_t claimed_seq = 0;
 };
 
 }  // namespace
@@ -347,6 +565,7 @@ Result<int64_t> FleetServer::Drain() {
       if (tenant->pending.empty()) continue;
       item.chunks.swap(tenant->pending);
       item.point_count = tenant->pending_points;
+      item.claimed_seq = tenant->wal_next_seq;
       tenant->pending_points = 0;
     }
     item.chunk_count = static_cast<int64_t>(item.chunks.size());
@@ -356,21 +575,91 @@ Result<int64_t> FleetServer::Drain() {
 
   // Scoring one tenant's claimed chunks; runs with state_mu held. Updates
   // the QoS window from the pass-outcome deltas and recomputes the rung.
+  // Fault boundary: everything that can go wrong in here — a pass blowing
+  // its deadline, a transient error (retried with backoff), a hard Append
+  // error, even a thrown exception — is absorbed per tenant, so one bad
+  // tenant can never skip the rest of its batched group.
   auto run_tenant = [&](DrainItem& item) {
     TenantState& t = *item.tenant;
     std::lock_guard<std::mutex> lock(t.state_mu);
+    // One budget for the whole slice, visible to the watchdog and (via the
+    // thread-local + pool propagation) to every checkpoint inside Detect.
+    DeadlinePtr budget = MakeDeadline(impl_->pass_deadline_seconds);
+    ScopedPassDeadline scope(
+        impl_->pass_deadline_seconds > 0.0 ? budget : nullptr);
+    if (impl_->pass_deadline_seconds > 0.0) {
+      std::lock_guard<std::mutex> wlock(impl_->watchdog_mu);
+      impl_->active_passes[t.id] = budget;
+    }
     const int64_t passes_before = t.stream.passes();
     const int64_t failed_before = t.stream.failed_passes();
+    // Chunk-level errors that are not pass outcomes (an injected fault, a
+    // cancelled hang) still count against the QoS window as failures.
+    int64_t error_outcomes = 0;
     const auto start = std::chrono::steady_clock::now();
-    for (auto& chunk : item.chunks) {
-      auto events = t.stream.Append(chunk);
-      if (!events.ok()) {
-        t.last_error = events.status();
-        impl_->append_errors.fetch_add(1, std::memory_order_relaxed);
-        Instruments().append_errors->Increment();
-        break;
+    try {
+      for (auto& chunk : item.chunks) {
+        Status outcome = Status::OK();
+        for (int64_t attempt = 0;; ++attempt) {
+          outcome = g_test_hooks.before_append != nullptr
+                        ? g_test_hooks.before_append(t.id)
+                        : Status::OK();
+          if (outcome.ok()) {
+            auto events = t.stream.Append(chunk);
+            outcome = events.status();
+          }
+          // Retry only transient failures, only within budget, with capped
+          // exponential backoff. DeadlineExceeded is deliberately NOT
+          // transient: retrying would re-spend the same blown budget.
+          if (outcome.ok() || !outcome.IsTransient() ||
+              attempt >= options_.max_transient_retries ||
+              !CheckPassDeadline().ok()) {
+            break;
+          }
+          impl_->transient_retries.fetch_add(1, std::memory_order_relaxed);
+          Instruments().transient_retries->Increment();
+          const double backoff =
+              std::min(options_.retry_backoff_seconds *
+                           static_cast<double>(int64_t{1}
+                                               << std::min<int64_t>(attempt,
+                                                                    20)),
+                       0.1);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff));
+        }
+        if (!outcome.ok()) {
+          ++error_outcomes;
+          t.last_error = outcome;
+          impl_->append_errors.fetch_add(1, std::memory_order_relaxed);
+          Instruments().append_errors->Increment();
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      ++error_outcomes;
+      t.last_error = Status::Internal(std::string("tenant pass threw: ") +
+                                      e.what());
+      impl_->append_errors.fetch_add(1, std::memory_order_relaxed);
+      Instruments().append_errors->Increment();
+    } catch (...) {
+      ++error_outcomes;
+      t.last_error = Status::Internal("tenant pass threw a non-exception");
+      impl_->append_errors.fetch_add(1, std::memory_order_relaxed);
+      Instruments().append_errors->Increment();
+    }
+    if (impl_->pass_deadline_seconds > 0.0) {
+      std::lock_guard<std::mutex> wlock(impl_->watchdog_mu);
+      impl_->active_passes.erase(t.id);
+      if (budget->Expired()) {
+        impl_->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        Instruments().deadline_expired->Increment();
       }
     }
+    // The claimed chunks are consumed even when some were dropped after a
+    // hard error: advancing the watermark keeps recovery aligned with what
+    // this fleet actually served (a replay must not resurrect chunks the
+    // live fleet already gave up on).
+    t.chunks_applied_seq = std::max(t.chunks_applied_seq, item.claimed_seq);
     const double elapsed = SecondsSince(start);
     const int64_t clean = t.stream.passes() - passes_before;
     const int64_t failed = t.stream.failed_passes() - failed_before;
@@ -385,28 +674,12 @@ Result<int64_t> FleetServer::Drain() {
       Instruments().pass_seconds->Observe(per_pass);
       t.pass_hist->Observe(per_pass);
     }
-    // Slide the QoS window by the outcomes this drain produced, then move
-    // the rung — a pure function of the tenant's own history.
-    for (int64_t i = 0; i < item.passes_run; ++i) {
-      t.qos_outcomes[static_cast<size_t>(t.qos_next)] = i < failed ? 1 : 0;
-      t.qos_next = (t.qos_next + 1) % options_.qos_window;
-      t.qos_count = std::min(t.qos_count + 1, options_.qos_window);
-    }
-    if (t.qos_count >= options_.qos_min_passes) {
-      int64_t failures = 0;
-      for (int64_t i = 0; i < t.qos_count; ++i) {
-        failures += t.qos_outcomes[static_cast<size_t>(i)];
-      }
-      const double fraction =
-          static_cast<double>(failures) / static_cast<double>(t.qos_count);
-      QosRung next = QosRung::kHealthy;
-      if (fraction >= options_.reject_failure_fraction) {
-        next = QosRung::kRejecting;
-      } else if (fraction >= options_.degrade_failure_fraction) {
-        next = QosRung::kDegraded;
-      }
-      t.rung.store(static_cast<int>(next), std::memory_order_release);
-    }
+    // Slide the QoS window by the outcomes this drain produced — failed
+    // passes plus chunk-level errors — then move the rung. This is how an
+    // over-budget or hung tenant degrades: DeadlineExceeded feeds the same
+    // ladder a sanitize rejection does.
+    UpdateQos(t, item.passes_run + error_outcomes, failed + error_outcomes,
+              options_);
   };
 
   ThreadPool* pool = DefaultPool();
@@ -451,7 +724,223 @@ Result<int64_t> FleetServer::Drain() {
     impl_->queue_points.fetch_sub(group_points, std::memory_order_relaxed);
     Instruments().queue_depth->Add(-static_cast<double>(group_chunks));
   }
+
+  // Snapshot cadence: any drained tenant that has run enough passes since
+  // its last snapshot gets a fresh one, written atomically after scoring
+  // so a crash during the write leaves the previous snapshot intact (and a
+  // crash after it simply replays fewer WAL records next time).
+  if (!options_.durability.dir.empty()) {
+    for (auto& [buffer_length, group] : groups) {
+      for (DrainItem& item : group) {
+        std::lock_guard<std::mutex> lock(item.tenant->state_mu);
+        const int64_t lifetime = item.tenant->stream.passes() +
+                                 item.tenant->stream.failed_passes();
+        if (lifetime - item.tenant->passes_at_last_snapshot <
+            options_.durability.snapshot_every_passes) {
+          continue;
+        }
+        const Status written = SnapshotTenantLocked(*item.tenant);
+        if (written.ok()) {
+          item.tenant->passes_at_last_snapshot = lifetime;
+        } else {
+          item.tenant->last_error = written;
+        }
+      }
+    }
+  }
   return total_passes;
+}
+
+// Writes one tenant's durable snapshot; caller holds state_mu.
+Status FleetServer::SnapshotTenantLocked(TenantState& t) {
+  TenantDurableState durable;
+  durable.stream = t.stream.ExportState();
+  durable.rung =
+      static_cast<uint8_t>(t.rung.load(std::memory_order_acquire));
+  durable.qos_outcomes = t.qos_outcomes;
+  durable.qos_next = t.qos_next;
+  durable.qos_count = t.qos_count;
+  durable.chunks_applied_seq = t.chunks_applied_seq;
+  {
+    std::lock_guard<std::mutex> qlock(t.queue_mu);
+    durable.probation_counter = t.probation_counter;
+  }
+  TRIAD_RETURN_NOT_OK(
+      WriteTenantSnapshot(options_.durability.dir, t.id, durable));
+  impl_->snapshots.fetch_add(1, std::memory_order_relaxed);
+  Instruments().snapshots->Increment();
+  return Status::OK();
+}
+
+Status FleetServer::Checkpoint() {
+  if (options_.durability.dir.empty()) {
+    return Status::FailedPrecondition(
+        "Checkpoint: fleet has no durability.dir");
+  }
+  std::vector<std::shared_ptr<TenantState>> tenants;
+  FleetManifest manifest;
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    for (auto& [id, tenant] : impl_->tenants) tenants.push_back(tenant);
+    manifest = ComposeManifest(impl_->next_id, impl_->tenants);
+  }
+  for (auto& tenant : tenants) {
+    std::lock_guard<std::mutex> lock(tenant->state_mu);
+    TRIAD_RETURN_NOT_OK(SnapshotTenantLocked(*tenant));
+    tenant->passes_at_last_snapshot =
+        tenant->stream.passes() + tenant->stream.failed_passes();
+  }
+  return WriteManifest(options_.durability.dir, manifest);
+}
+
+Result<RecoveryReport> FleetServer::Recover(ModelRegistry* registry) {
+  if (options_.durability.dir.empty()) {
+    return Status::FailedPrecondition("Recover: fleet has no durability.dir");
+  }
+  if (registry == nullptr) {
+    return Status::InvalidArgument("Recover: registry is null");
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    if (!impl_->tenants.empty()) {
+      return Status::FailedPrecondition(
+          "Recover: must run on a fresh fleet (tenants already registered)");
+    }
+  }
+  Timer timer;
+  const std::string& root = options_.durability.dir;
+  TRIAD_ASSIGN_OR_RETURN(FleetManifest manifest, ReadManifest(root));
+  RecoveryReport report;
+
+  // Rebuilds one tenant; returns null + `why` to quarantine it. Failures
+  // are strictly per tenant — nothing in here touches another tenant's
+  // files or the fleet maps.
+  const auto recover_tenant =
+      [&](const TenantManifestEntry& entry,
+          Status* why) -> std::shared_ptr<TenantState> {
+    Result<std::shared_ptr<const core::TriadDetector>> model =
+        registry->Get(entry.model_key);
+    if (!model.ok()) model = registry->LoadCheckpoint(entry.model_key);
+    if (!model.ok()) {
+      *why = model.status();
+      return nullptr;
+    }
+    core::StreamingOptions streaming;
+    streaming.buffer_length = entry.buffer_length;
+    streaming.hop = entry.hop;
+    streaming.incremental = entry.incremental;
+    auto tenant = std::make_shared<TenantState>(std::move(model).value(),
+                                                streaming);
+    tenant->id = entry.id;
+    tenant->model_key = entry.model_key;
+    tenant->max_pending_points =
+        options_.max_pending_points_per_tenant > 0
+            ? options_.max_pending_points_per_tenant
+            : 8 * tenant->stream.buffer_length();
+    tenant->pass_hist = metrics::Registry::Global().histogram(
+        "serve.tenant." + std::to_string(entry.id) + ".pass_seconds");
+
+    // Snapshot: restored when its checksum holds; otherwise recovery falls
+    // back to replaying the whole WAL from an empty stream (the WAL is
+    // never truncated at snapshot time precisely so this path exists).
+    // "No snapshot yet" (IoError) is the normal state of a young tenant.
+    Result<TenantDurableState> snap = ReadTenantSnapshot(root, entry.id);
+    if (snap.ok()) {
+      const TenantDurableState& durable = snap.value();
+      const Status restored = tenant->stream.RestoreState(durable.stream);
+      if (!restored.ok()) {
+        // The checksum held but the state could not have been produced by
+        // ExportState: writer-side corruption. Never half-recover.
+        *why = Status::DataLoss("snapshot decodes but fails validation: " +
+                                restored.message());
+        return nullptr;
+      }
+      tenant->rung.store(static_cast<int>(durable.rung),
+                         std::memory_order_release);
+      tenant->qos_outcomes = durable.qos_outcomes;
+      tenant->qos_next = durable.qos_next;
+      tenant->qos_count = durable.qos_count;
+      tenant->probation_counter = durable.probation_counter;
+      tenant->chunks_applied_seq = durable.chunks_applied_seq;
+    } else if (snap.status().code() != StatusCode::kIoError) {
+      ++report.snapshot_fallbacks;
+    }
+
+    const std::string wal_path = TenantDir(root, entry.id) + "/wal";
+    Result<WalReplay> wal = ReadWal(wal_path);
+    if (!wal.ok()) {
+      *why = wal.status();
+      return nullptr;
+    }
+    WalReplay& replay = wal.value();
+    if (replay.outcome == io::RecordScanOutcome::kCorrupt) {
+      *why = Status::DataLoss("tenant WAL has an interior corrupt record");
+      return nullptr;
+    }
+    if (replay.outcome == io::RecordScanOutcome::kTornTail) {
+      // The crash artifact: drop the partial record so future appends
+      // start at an intact boundary.
+      ++report.torn_wal_tails;
+      if (::truncate(wal_path.c_str(),
+                     static_cast<off_t>(replay.valid_bytes)) != 0) {
+        *why = Status::IoError("cannot truncate torn WAL tail");
+        return nullptr;
+      }
+    }
+
+    // Replay everything after the snapshot watermark through the ordinary
+    // scoring path. Chunking invariance + identical chunks = identical
+    // timeline (tests/serve_chaos_test.cc).
+    uint64_t last_seq = tenant->chunks_applied_seq;
+    for (const WalChunk& chunk : replay.chunks) {
+      last_seq = std::max(last_seq, chunk.seq);
+      if (chunk.seq <= tenant->chunks_applied_seq) continue;
+      const int64_t passes_before = tenant->stream.passes();
+      const int64_t failed_before = tenant->stream.failed_passes();
+      auto events = tenant->stream.Append(chunk.points);
+      if (!events.ok()) {
+        *why = events.status();
+        return nullptr;
+      }
+      UpdateQos(*tenant, tenant->stream.passes() - passes_before +
+                             tenant->stream.failed_passes() - failed_before,
+                tenant->stream.failed_passes() - failed_before, options_);
+      tenant->chunks_applied_seq = chunk.seq;
+      ++report.chunks_replayed;
+      report.points_replayed += static_cast<int64_t>(chunk.points.size());
+    }
+    tenant->wal_next_seq = last_seq;
+
+    Result<WalWriter> writer =
+        WalWriter::Open(wal_path, options_.durability.fsync_wal);
+    if (!writer.ok()) {
+      *why = writer.status();
+      return nullptr;
+    }
+    tenant->wal = std::move(writer).value();
+    return tenant;
+  };
+
+  for (const TenantManifestEntry& entry : manifest.tenants) {
+    Status why = Status::OK();
+    std::shared_ptr<TenantState> tenant = recover_tenant(entry, &why);
+    if (tenant == nullptr) {
+      report.quarantined.push_back({entry.id, why});
+      Instruments().quarantined->Increment();
+      continue;
+    }
+    ++report.tenants_recovered;
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    impl_->tenants.emplace(entry.id, std::move(tenant));
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->registry_mu);
+    impl_->next_id = std::max(impl_->next_id, manifest.next_id);
+    Instruments().tenants->Set(static_cast<double>(impl_->tenants.size()));
+  }
+  report.recovery_seconds = timer.ElapsedSeconds();
+  Instruments().recovery_seconds->Observe(report.recovery_seconds);
+  return report;
 }
 
 Result<TenantSnapshot> FleetServer::Tenant(int64_t id) const {
@@ -504,6 +993,17 @@ FleetStats FleetServer::stats() const {
   s.multi_core_groups =
       impl_->multi_core_groups.load(std::memory_order_relaxed);
   s.append_errors = impl_->append_errors.load(std::memory_order_relaxed);
+  s.wal_records = impl_->wal_records.load(std::memory_order_relaxed);
+  s.wal_failures = impl_->wal_failures.load(std::memory_order_relaxed);
+  s.snapshots = impl_->snapshots.load(std::memory_order_relaxed);
+  s.transient_retries =
+      impl_->transient_retries.load(std::memory_order_relaxed);
+  s.deadline_expired_passes =
+      impl_->deadline_expired.load(std::memory_order_relaxed);
+  s.watchdog_cancels =
+      impl_->watchdog_cancels.load(std::memory_order_relaxed);
+  s.admission_alloc_failures =
+      impl_->admission_alloc_failures.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -2,12 +2,14 @@
 #define TRIAD_SERVE_FLEET_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/streaming.h"
+#include "serve/durability.h"
 #include "serve/model_registry.h"
 
 namespace triad::serve {
@@ -90,6 +92,28 @@ struct FleetOptions {
   /// Strategy rule: a ready group whose buffers are at least this long
   /// runs kMultiCoreSharded when the group alone cannot fill the pool.
   int64_t multi_core_min_buffer = 4096;
+
+  /// Crash safety (ARCHITECTURE.md §10): set `durability.dir` to persist
+  /// every tenant as snapshot + WAL and enable Recover()/Checkpoint().
+  DurabilityOptions durability;
+
+  /// Wall-clock budget for one tenant's Drain slice, enforced by the
+  /// cooperative checkpoints inside Detect (common/deadline.h). 0 = no
+  /// budget. The TRIAD_PASS_DEADLINE environment variable (seconds)
+  /// overrides this at construction. An over-budget pass fails with
+  /// DeadlineExceeded, which counts as a failed pass on the QoS ladder —
+  /// a tenant that keeps blowing its budget degrades, then rejects,
+  /// without ever stalling the drain. A watchdog thread additionally
+  /// cancels passes that stopped reaching time checkpoints.
+  double pass_deadline_seconds = 0.0;
+
+  /// Transient failures (Status::IsTransient — e.g. a WAL write hitting a
+  /// momentary I/O error, or an injected fault) retry the same chunk up to
+  /// this many times with capped exponential backoff before counting as a
+  /// hard append error. Permanent failures never retry.
+  int64_t max_transient_retries = 3;
+  /// First retry's backoff; doubles per retry, capped at 100ms.
+  double retry_backoff_seconds = 0.001;
 };
 
 /// Chooses the execution strategy for one same-shape group of ready
@@ -105,6 +129,11 @@ ExecutionStrategy::Enum ChooseExecutionStrategy(int64_t buffer_length,
 /// \brief Per-tenant options at registration time.
 struct TenantOptions {
   core::StreamingOptions streaming;
+  /// ModelRegistry key recovery uses to re-resolve this tenant's detector
+  /// (Get first, LoadCheckpoint as fallback — so a checkpoint path works
+  /// unmodified). Required on a durable fleet; AddTenantFromCheckpoint
+  /// fills it with the checkpoint path automatically.
+  std::string model_key;
 };
 
 /// \brief The QoS rung a tenant currently occupies (see IngestStatus).
@@ -130,6 +159,15 @@ struct FleetStats {
   uint64_t single_core_groups = 0;
   uint64_t multi_core_groups = 0;
   uint64_t append_errors = 0;  ///< Append returned a hard error (bug-class)
+
+  // Fault-tolerance counters (ARCHITECTURE.md §10).
+  uint64_t wal_records = 0;        ///< chunks durably logged before enqueue
+  uint64_t wal_failures = 0;       ///< admissions rejected on WAL errors
+  uint64_t snapshots = 0;          ///< tenant snapshots written
+  uint64_t transient_retries = 0;  ///< chunk retries after transient errors
+  uint64_t deadline_expired_passes = 0;  ///< drain slices over budget
+  uint64_t watchdog_cancels = 0;   ///< passes cut loose by the watchdog
+  uint64_t admission_alloc_failures = 0;  ///< enqueue allocation failures
 };
 
 /// \brief Read-only view of one tenant.
@@ -145,6 +183,50 @@ struct TenantSnapshot {
   std::vector<core::TimelineGap> gaps;   ///< unscored spans
   Status last_error;                     ///< OK unless Append ever errored
 };
+
+/// \brief One tenant Recover() refused to resurrect, and why. The tenant's
+/// files stay on disk untouched for offline inspection; the fleet serves
+/// everyone else.
+struct QuarantinedTenant {
+  int64_t id = 0;
+  Status reason;  ///< DataLoss (corrupt WAL/snapshot) or a model failure
+};
+
+/// \brief What FleetServer::Recover reconstructed from disk.
+struct RecoveryReport {
+  int64_t tenants_recovered = 0;
+  int64_t chunks_replayed = 0;
+  int64_t points_replayed = 0;
+  /// Tenants whose snapshot failed its checksum and were rebuilt by
+  /// replaying the whole WAL instead (slower, bit-identical — the WAL is
+  /// never truncated at snapshot time precisely to keep this fallback).
+  int64_t snapshot_fallbacks = 0;
+  /// WALs whose final record was torn by the crash (the expected artifact;
+  /// the partial record is discarded and the file truncated to the last
+  /// intact boundary).
+  int64_t torn_wal_tails = 0;
+  std::vector<QuarantinedTenant> quarantined;
+  double recovery_seconds = 0.0;
+};
+
+/// \brief Chaos-harness seams (tests/serve_chaos_test.cc). Process-global;
+/// install only while no fleet is draining. Production code never sets
+/// these — every hook defaults to absent and costs one null check.
+struct ServeTestHooks {
+  /// Runs before each chunk's Append during a drain slice; a non-OK return
+  /// is treated as that chunk's outcome (transient statuses go through the
+  /// retry loop, so this is how the harness exercises backoff and the
+  /// watchdog: a hook that blocks until the pass deadline is cancelled
+  /// models a hang).
+  std::function<Status(int64_t tenant_id)> before_append;
+  /// Runs at admission just before the enqueue; returning true simulates
+  /// the enqueue allocation throwing std::bad_alloc.
+  std::function<bool(int64_t tenant_id)> admission_alloc_fail;
+};
+
+/// Replaces the global hooks (test-only).
+void SetServeTestHooks(ServeTestHooks hooks);
+void ClearServeTestHooks();
 
 /// \brief Multi-tenant serving front end over StreamingTriad
 /// (ARCHITECTURE.md §9).
@@ -216,6 +298,31 @@ class FleetServer {
   /// ExecutionStrategy; per-tenant chunks apply in ingest order.
   Result<int64_t> Drain();
 
+  /// \brief Forces a durable snapshot of every tenant plus the manifest
+  /// (durable fleets only; FailedPrecondition otherwise). Drain also
+  /// snapshots automatically every `durability.snapshot_every_passes`
+  /// passes per tenant; this is the explicit flush for orderly shutdown.
+  Status Checkpoint();
+
+  /// \brief Rebuilds the fleet from `durability.dir` after a crash.
+  ///
+  /// Must run on a fresh durable fleet (no tenants yet). Reads the
+  /// manifest, then per tenant: re-resolves the model through `registry`
+  /// (Get by key, else LoadCheckpoint treating the key as a path),
+  /// restores the snapshot if its checksum holds — falling back to an
+  /// empty stream when it does not — and replays WAL chunks after the
+  /// snapshot's watermark through the ordinary scoring path. Because
+  /// replay feeds the exact admitted chunks through a chunking-invariant
+  /// stream, the recovered alarm timeline is bit-identical to an
+  /// uninterrupted run's (tests/serve_chaos_test.cc sweeps kill points).
+  ///
+  /// A torn WAL tail (crash mid-append) is dropped and the file truncated
+  /// to the last intact record. Interior WAL corruption, an undecodable
+  /// snapshot, or an unresolvable model quarantines that tenant — listed
+  /// in the report, never half-recovered, never blocking the others.
+  /// A corrupt manifest fails the whole recovery with DataLoss.
+  Result<RecoveryReport> Recover(ModelRegistry* registry);
+
   /// Read-only tenant view (waits for the tenant's in-flight pass).
   Result<TenantSnapshot> Tenant(int64_t id) const;
 
@@ -227,6 +334,7 @@ class FleetServer {
 
  private:
   struct Impl;
+  Status SnapshotTenantLocked(struct TenantState& tenant);
   FleetOptions options_;
   Impl* impl_;
 };

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <utility>
 
 #include "common/metrics.h"
@@ -14,6 +15,8 @@ struct RegistryMetrics {
       metrics::Registry::Global().counter("serve.model_loads");
   metrics::Counter* hits =
       metrics::Registry::Global().counter("serve.model_hits");
+  metrics::Counter* quarantines =
+      metrics::Registry::Global().counter("serve.model_quarantines");
 };
 
 RegistryMetrics& Instruments() {
@@ -26,6 +29,9 @@ RegistryMetrics& Instruments() {
 struct ModelRegistry::Impl {
   mutable std::mutex mu;
   std::map<std::string, std::shared_ptr<const core::TriadDetector>> models;
+  // Paths whose checkpoint failed integrity verification (DataLoss); every
+  // later load short-circuits so a bad file is never decoded per tenant.
+  std::set<std::string> quarantined;
 };
 
 ModelRegistry::ModelRegistry() : impl_(new Impl) {}
@@ -36,6 +42,9 @@ Result<std::shared_ptr<const core::TriadDetector>>
 ModelRegistry::LoadCheckpoint(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->quarantined.count(path) != 0) {
+      return Status::DataLoss("checkpoint is quarantined: " + path);
+    }
     auto it = impl_->models.find(path);
     if (it != impl_->models.end()) {
       Instruments().hits->Increment();
@@ -45,8 +54,17 @@ ModelRegistry::LoadCheckpoint(const std::string& path) {
   // Load outside the lock so a slow disk does not stall unrelated lookups;
   // if two threads race on the same path the second insert wins the map
   // slot and both detectors are valid (they decode the same bytes).
-  TRIAD_ASSIGN_OR_RETURN(core::TriadDetector detector,
-                         core::TriadDetector::Load(path));
+  Result<core::TriadDetector> loaded = core::TriadDetector::Load(path);
+  if (!loaded.ok()) {
+    if (loaded.status().code() == StatusCode::kDataLoss) {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      if (impl_->quarantined.insert(path).second) {
+        Instruments().quarantines->Increment();
+      }
+    }
+    return loaded.status();
+  }
+  core::TriadDetector detector = std::move(loaded).value();
   auto shared =
       std::make_shared<const core::TriadDetector>(std::move(detector));
   std::lock_guard<std::mutex> lock(impl_->mu);
@@ -74,6 +92,12 @@ Result<std::shared_ptr<const core::TriadDetector>> ModelRegistry::Get(
   }
   Instruments().hits->Increment();
   return it->second;
+}
+
+std::vector<std::string> ModelRegistry::quarantined() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return std::vector<std::string>(impl_->quarantined.begin(),
+                                  impl_->quarantined.end());
 }
 
 int64_t ModelRegistry::size() const {

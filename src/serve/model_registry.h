@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/detector.h"
@@ -37,8 +38,18 @@ class ModelRegistry {
 
   /// The detector for `path`: loaded from the checkpoint on first request
   /// (IoError/InvalidArgument propagate), shared on every later one.
+  ///
+  /// Corrupt-state quarantine (ARCHITECTURE.md §10): a checkpoint whose
+  /// CRC fails (DataLoss from TriadDetector::Load) is remembered and every
+  /// later load of the same path fails immediately with DataLoss — a
+  /// bit-flipped file must not be re-read per tenant in the hope it heals.
+  /// Transient failures (IoError: missing file, unreadable disk) are NOT
+  /// quarantined and retry naturally on the next call.
   Result<std::shared_ptr<const core::TriadDetector>> LoadCheckpoint(
       const std::string& path);
+
+  /// Paths quarantined by LoadCheckpoint, in sorted order.
+  std::vector<std::string> quarantined() const;
 
   /// Registers an already-fitted detector under a caller-chosen key (no
   /// file round trip — tests, benches, and in-process training flows).

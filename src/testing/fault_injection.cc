@@ -1,7 +1,11 @@
 #include "testing/fault_injection.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <limits>
 
 #include "common/check.h"
@@ -180,6 +184,62 @@ std::vector<double> InjectFault(const std::vector<double>& series,
       break;
   }
   return out;
+}
+
+const char* ServeFaultToString(ServeFault f) {
+  switch (f) {
+    case ServeFault::kKillBetweenWalRecords:
+      return "kill-between-wal-records";
+    case ServeFault::kTornWalTail:
+      return "torn-wal-tail";
+    case ServeFault::kWalBitFlip:
+      return "wal-bit-flip";
+    case ServeFault::kTornSnapshot:
+      return "torn-snapshot";
+    case ServeFault::kSnapshotBitFlip:
+      return "snapshot-bit-flip";
+    case ServeFault::kCheckpointBitFlip:
+      return "checkpoint-bit-flip";
+    case ServeFault::kPassHang:
+      return "pass-hang";
+    case ServeFault::kTransientAppend:
+      return "transient-append";
+    case ServeFault::kAdmissionAllocFail:
+      return "admission-alloc-fail";
+  }
+  return "unknown";
+}
+
+bool FlipBitInFile(const std::string& path, uint64_t seed,
+                   int64_t min_offset) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) return false;
+  file.seekg(0, std::ios::end);
+  const int64_t size = static_cast<int64_t>(file.tellg());
+  if (size <= min_offset) return false;
+  Rng rng(seed);
+  const int64_t offset =
+      min_offset + rng.UniformInt(0, size - min_offset - 1);
+  const int bit = static_cast<int>(rng.UniformInt(0, 7));
+  file.seekg(offset);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ (1 << bit));
+  file.seekp(offset);
+  file.write(&byte, 1);
+  return static_cast<bool>(file);
+}
+
+bool TruncateFile(const std::string& path, int64_t keep_bytes) {
+  if (FileSize(path) < keep_bytes) return false;
+  return ::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) == 0;
+}
+
+int64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_size);
 }
 
 }  // namespace triad::testing
