@@ -100,7 +100,10 @@ Result<FleetManifest> ReadManifest(const std::string& root) {
   const auto count = r.Read<uint64_t>();
   // The CRC already vouched for the bytes; a decode inconsistency past it
   // means the writer was broken, which is still data loss to the reader.
-  if (!r.ok || count > (1ull << 20)) {
+  // Bounding counts by the bytes actually remaining (each entry is at
+  // least 33 bytes) keeps a CRC-valid-but-inconsistent length from
+  // triggering a huge resize (std::bad_alloc would escape the caller).
+  if (!r.ok || count > (payload.size() - r.offset) / 33) {
     return Status::DataLoss("manifest decodes inconsistently");
   }
   manifest.tenants.resize(static_cast<size_t>(count));
@@ -174,20 +177,24 @@ Result<TenantDurableState> ReadTenantSnapshot(const std::string& root,
   s.failed_passes = r.Read<int64_t>();
   s.since_last_pass = r.Read<int64_t>();
   s.buffer_global_start = r.Read<int64_t>();
+  // Every count below is validated against the bytes actually remaining
+  // before the resize: a CRC-valid-but-inconsistent length field must come
+  // back DataLoss like any other decode failure, not throw std::bad_alloc
+  // out of Recover (which quarantines per tenant, not per process).
   const auto buffer_n = r.Read<uint64_t>();
-  if (!r.ok || buffer_n > (1ull << 32)) {
+  if (!r.ok || buffer_n > (payload.size() - r.offset) / sizeof(double)) {
     return Status::DataLoss("snapshot decodes inconsistently");
   }
   s.buffer.resize(static_cast<size_t>(buffer_n));
   r.ReadRaw(s.buffer.data(), s.buffer.size() * sizeof(double));
   const auto alarms_n = r.Read<uint64_t>();
-  if (!r.ok || alarms_n > (1ull << 40)) {
+  if (!r.ok || alarms_n > payload.size() - r.offset) {
     return Status::DataLoss("snapshot decodes inconsistently");
   }
   s.alarms.resize(static_cast<size_t>(alarms_n));
   for (int& a : s.alarms) a = r.Read<uint8_t>() != 0 ? 1 : 0;
   const auto gaps_n = r.Read<uint64_t>();
-  if (!r.ok || gaps_n > (1ull << 32)) {
+  if (!r.ok || gaps_n > (payload.size() - r.offset) / (2 * sizeof(int64_t))) {
     return Status::DataLoss("snapshot decodes inconsistently");
   }
   s.gaps.resize(static_cast<size_t>(gaps_n));
@@ -204,8 +211,13 @@ Result<TenantDurableState> ReadTenantSnapshot(const std::string& root,
 WalWriter::~WalWriter() { Close(); }
 
 WalWriter::WalWriter(WalWriter&& other) noexcept
-    : fd_(other.fd_), fsync_each_(other.fsync_each_) {
+    : fd_(other.fd_),
+      fsync_each_(other.fsync_each_),
+      broken_(other.broken_),
+      tail_(other.tail_) {
   other.fd_ = -1;
+  other.broken_ = false;
+  other.tail_ = 0;
 }
 
 WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
@@ -213,7 +225,11 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     Close();
     fd_ = other.fd_;
     fsync_each_ = other.fsync_each_;
+    broken_ = other.broken_;
+    tail_ = other.tail_;
     other.fd_ = -1;
+    other.broken_ = false;
+    other.tail_ = 0;
   }
   return *this;
 }
@@ -224,14 +240,47 @@ Result<WalWriter> WalWriter::Open(const std::string& path, bool fsync_each) {
     return Status::IoError("cannot open WAL " + path + ": " +
                            std::strerror(errno));
   }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot seek WAL " + path + ": " +
+                           std::strerror(err));
+  }
   WalWriter writer;
   writer.fd_ = fd;
   writer.fsync_each_ = fsync_each;
+  writer.tail_ = static_cast<uint64_t>(end);
   return writer;
+}
+
+Status WalWriter::TruncateTo(uint64_t offset) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  if (broken_) return Status::Internal("WAL is broken (earlier repair failed)");
+  if (offset > tail_) {
+    return Status::InvalidArgument("WAL TruncateTo past the tail");
+  }
+  // The fsync after ftruncate makes the rollback itself durable: without
+  // it a crash could resurrect the truncated record even though this call
+  // reported it gone.
+  if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0 ||
+      (fsync_each_ && ::fsync(fd_) != 0)) {
+    broken_ = true;
+    return Status::Internal(std::string("WAL rollback failed: ") +
+                            std::strerror(errno) +
+                            " — WAL is now fail-closed");
+  }
+  tail_ = offset;
+  return Status::OK();
 }
 
 Status WalWriter::Append(uint64_t seq, const double* points, size_t count) {
   if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  if (broken_) {
+    // Permanent: appending after a failed repair could follow torn bytes
+    // or duplicate a seq that may already be durable.
+    return Status::Internal("WAL is broken (earlier repair failed)");
+  }
   std::string payload;
   payload.reserve(2 * sizeof(uint64_t) + count * sizeof(double));
   AppendPod(&payload, seq);
@@ -240,23 +289,34 @@ Status WalWriter::Append(uint64_t seq, const double* points, size_t count) {
                  count * sizeof(double));
   std::string record;
   io::AppendRecord(&record, payload);
+  const uint64_t start = tail_;
+  // On any failure below, repair the file back to `start` so the log ends
+  // at an intact boundary and `seq` is provably not on disk; only then is
+  // the error retryable. A failed repair marks the writer broken instead.
+  const auto fail = [&](const char* what) -> Status {
+    const std::string why = std::string(what) + std::strerror(errno);
+    const Status repaired = TruncateTo(start);
+    if (!repaired.ok()) {
+      return Status::Internal(why + "; " + repaired.message());
+    }
+    return Status::Unavailable(why);
+  };
   size_t written = 0;
   while (written < record.size()) {
     const ssize_t n =
         ::write(fd_, record.data() + written, record.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      // A short O_APPEND write can leave a torn tail; recovery drops it,
-      // exactly as it would after a crash. Unavailable = retryable.
-      return Status::Unavailable(std::string("WAL append failed: ") +
-                                 std::strerror(errno));
+      return fail("WAL append failed: ");
     }
     written += static_cast<size_t>(n);
   }
   if (fsync_each_ && ::fsync(fd_) != 0) {
-    return Status::Unavailable(std::string("WAL fsync failed: ") +
-                               std::strerror(errno));
+    // The record is fully written but its durability is unknown; rolling
+    // it back (durably) resolves the ambiguity — the seq stays unclaimed.
+    return fail("WAL fsync failed: ");
   }
+  tail_ = start + record.size();
   return Status::OK();
 }
 

@@ -39,6 +39,15 @@ namespace triad::serve {
 ///    the WAL is never truncated at snapshot time;
 ///  * corrupt manifest — nothing can be recovered; Recover returns the
 ///    DataLoss.
+///
+/// Fidelity caveat: "bit-identical" is a statement about the *alarm
+/// timeline*. The QoS window is rebuilt at replay from pass outcomes
+/// alone — chunk-level error outcomes the live fleet fed into it
+/// (deadline expiries, retry exhaustion) are not persisted in the WAL —
+/// so a tenant recovered via full-WAL replay can land on a different
+/// rung/probation position than the pre-crash fleet held. A snapshot
+/// restores the exact ladder position as of its watermark; only the
+/// replayed tail is subject to the caveat.
 
 /// \brief Durability knobs, embedded in FleetOptions.
 struct DurabilityOptions {
@@ -110,6 +119,16 @@ Result<TenantDurableState> ReadTenantSnapshot(const std::string& root,
 /// `[u64 seq][u64 n][n doubles]`. Appends are written whole and (by
 /// default) fsync'd before returning, so after a crash the file is a clean
 /// prefix of admitted chunks plus at most one torn tail.
+///
+/// Invariant: the log always ends at an intact record boundary while the
+/// writer lives. A failed append repairs the file in place (ftruncate back
+/// to the pre-append boundary, then fsync so the truncation is durable)
+/// before reporting Unavailable — so a transient I/O error never leaves
+/// torn bytes for the *next* append to bury, and never leaves an
+/// unacknowledged record whose seq was not claimed. If the repair itself
+/// fails the writer goes **broken** (fail-closed): every later Append
+/// returns a permanent Internal error and the file is left for crash
+/// recovery to tidy, exactly as if the process had died at the fault.
 class WalWriter {
  public:
   WalWriter() = default;
@@ -123,16 +142,31 @@ class WalWriter {
   static Result<WalWriter> Open(const std::string& path, bool fsync_each);
 
   bool is_open() const { return fd_ >= 0; }
+  bool broken() const { return broken_; }
 
-  /// Appends one framed chunk record; Unavailable on a write/fsync failure
-  /// (transient by the Status taxonomy — the caller may retry).
+  /// Byte offset of the log's end — always a record boundary. Capture it
+  /// before an Append to be able to TruncateTo() that record away.
+  uint64_t tail_offset() const { return tail_; }
+
+  /// Appends one framed chunk record. Unavailable on a write/fsync failure
+  /// (transient by the Status taxonomy — the log was repaired back to its
+  /// previous boundary, so the caller may retry with the same seq);
+  /// Internal (permanent) once the writer is broken.
   Status Append(uint64_t seq, const double* points, size_t count);
+
+  /// Rolls the log back so it ends exactly at `offset` (a boundary
+  /// previously returned by tail_offset()), durably. Used to undo the last
+  /// record when the operation it logged could not be completed. On
+  /// failure the writer goes broken and the record stays.
+  Status TruncateTo(uint64_t offset);
 
   void Close();
 
  private:
   int fd_ = -1;
   bool fsync_each_ = true;
+  bool broken_ = false;
+  uint64_t tail_ = 0;
 };
 
 /// One decoded WAL record.

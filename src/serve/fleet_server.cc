@@ -344,7 +344,7 @@ Result<int64_t> FleetServer::AddTenant(
     return Status::OutOfRange("AddTenant: fleet is full (max_tenants = " +
                               std::to_string(options_.max_tenants) + ")");
   }
-  const int64_t id = impl_->next_id++;
+  const int64_t id = impl_->next_id;
   tenant->id = id;
   tenant->max_pending_points =
       options_.max_pending_points_per_tenant > 0
@@ -360,14 +360,22 @@ Result<int64_t> FleetServer::AddTenant(
                            WalWriter::Open(TenantDir(root, id) + "/wal",
                                            options_.durability.fsync_wal));
   }
-  impl_->tenants.emplace(id, std::move(tenant));
+  impl_->tenants.emplace(id, tenant);
+  impl_->next_id = id + 1;
   if (durable) {
     // Manifest after the roster change: a crash right here recovers the
     // tenant as empty (its WAL has no records yet), which is exactly what
-    // it is.
-    TRIAD_RETURN_NOT_OK(WriteManifest(
+    // it is. A manifest write *failure*, though, must unwind the whole
+    // registration — an error return with the tenant still live would turn
+    // the caller's natural retry into a duplicate tenant under a new id.
+    const Status manifest = WriteManifest(
         options_.durability.dir,
-        ComposeManifest(impl_->next_id, impl_->tenants)));
+        ComposeManifest(impl_->next_id, impl_->tenants));
+    if (!manifest.ok()) {
+      impl_->tenants.erase(id);
+      impl_->next_id = id;  // registry_mu held throughout: id is unclaimed
+      return manifest;
+    }
   }
   Instruments().tenants->Set(static_cast<double>(impl_->tenants.size()));
   return id;
@@ -478,11 +486,17 @@ Result<IngestStatus> FleetServer::Ingest(int64_t id,
   // it enters the in-memory queue, so at every instant the WAL holds a
   // superset of what the queue ever held — a crash between the two loses
   // nothing (the chunk replays) and the reverse order would lose the chunk.
+  uint64_t wal_tail_before = 0;
+  bool logged_to_wal = false;
   if (tenant->wal.is_open()) {
+    wal_tail_before = tenant->wal.tail_offset();
     const uint64_t seq = tenant->wal_next_seq + 1;
     const Status logged = tenant->wal.Append(seq, points.data(),
                                              points.size());
     if (!logged.ok()) {
+      // Append repaired the log back to its previous boundary (or went
+      // fail-closed); either way `seq` is unclaimed and the chunk is
+      // simply not durable — reject it.
       impl_->queue_chunks.fetch_sub(1, std::memory_order_relaxed);
       impl_->wal_failures.fetch_add(1, std::memory_order_relaxed);
       Instruments().wal_failures->Increment();
@@ -491,8 +505,7 @@ Result<IngestStatus> FleetServer::Ingest(int64_t id,
       return IngestStatus::kRejected;
     }
     tenant->wal_next_seq = seq;
-    impl_->wal_records.fetch_add(1, std::memory_order_relaxed);
-    Instruments().wal_records->Increment();
+    logged_to_wal = true;
   }
   try {
     if (g_test_hooks.admission_alloc_fail != nullptr &&
@@ -502,17 +515,32 @@ Result<IngestStatus> FleetServer::Ingest(int64_t id,
     tenant->pending_points += static_cast<int64_t>(points.size());
     tenant->pending.push_back(points);
   } catch (const std::bad_alloc&) {
-    // Enqueue allocation failure: the reservation is rolled back and the
-    // chunk rejected — but if it reached the WAL it stays there, so a
-    // recovery replays it (admission promised durability the moment the
-    // record was fsync'd). pending_points was not yet updated, so the
-    // ledger stays exact.
+    // Enqueue allocation failure: WAL-then-enqueue is atomic, so the
+    // record just written is rolled back (durably) before the chunk is
+    // rejected — a chunk the caller was told kRejected must never
+    // resurface at recovery, or the caller's retry would double-apply it.
+    // pending_points was not yet updated, so the ledger stays exact.
+    if (logged_to_wal && tenant->wal.TruncateTo(wal_tail_before).ok()) {
+      --tenant->wal_next_seq;
+    }
+    // If the rollback failed the WAL is fail-closed: the orphan record
+    // stays, but no later record can follow it in this process, and every
+    // subsequent Ingest rejects at the Append above — so the record can
+    // be served at most once (by a recovery) while the caller's retries
+    // keep failing, never twice.
     impl_->queue_chunks.fetch_sub(1, std::memory_order_relaxed);
     impl_->admission_alloc_failures.fetch_add(1, std::memory_order_relaxed);
     Instruments().admission_alloc_failures->Increment();
     impl_->rejected.fetch_add(1, std::memory_order_relaxed);
     Instruments().rejected->Increment();
     return IngestStatus::kRejected;
+  }
+  if (logged_to_wal) {
+    // Counted only once the enqueue holds too: a rolled-back record was
+    // never durable, and the wal_records == admitted-chunk ledger is what
+    // the chaos suite audits.
+    impl_->wal_records.fetch_add(1, std::memory_order_relaxed);
+    Instruments().wal_records->Increment();
   }
   impl_->queue_points.fetch_add(static_cast<int64_t>(points.size()),
                                 std::memory_order_relaxed);
@@ -902,6 +930,11 @@ Result<RecoveryReport> FleetServer::Recover(ModelRegistry* registry) {
         *why = events.status();
         return nullptr;
       }
+      // Replay feeds the ladder pass outcomes only: chunk-level error
+      // outcomes the live drain also counted (deadline expiries, retry
+      // exhaustion) are not persisted in the WAL, so under full-WAL
+      // replay the rung is an approximation while the alarm timeline
+      // stays bit-identical (see durability.h's fidelity caveat).
       UpdateQos(*tenant, tenant->stream.passes() - passes_before +
                              tenant->stream.failed_passes() - failed_before,
                 tenant->stream.failed_passes() - failed_before, options_);

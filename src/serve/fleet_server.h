@@ -161,7 +161,9 @@ struct FleetStats {
   uint64_t append_errors = 0;  ///< Append returned a hard error (bug-class)
 
   // Fault-tolerance counters (ARCHITECTURE.md §10).
-  uint64_t wal_records = 0;        ///< chunks durably logged before enqueue
+  /// Admitted chunks durably logged (WAL-before-enqueue; a record rolled
+  /// back because its enqueue failed is not counted — admission is atomic).
+  uint64_t wal_records = 0;
   uint64_t wal_failures = 0;       ///< admissions rejected on WAL errors
   uint64_t snapshots = 0;          ///< tenant snapshots written
   uint64_t transient_retries = 0;  ///< chunk retries after transient errors
@@ -321,6 +323,11 @@ class FleetServer {
   /// snapshot, or an unresolvable model quarantines that tenant — listed
   /// in the report, never half-recovered, never blocking the others.
   /// A corrupt manifest fails the whole recovery with DataLoss.
+  ///
+  /// Bit-identical means the *alarm timeline*. The QoS window is rebuilt
+  /// from pass outcomes alone (chunk-level error outcomes are not in the
+  /// WAL), so a tenant recovered via snapshot fallback can sit on a
+  /// different rung than the pre-crash fleet held — see durability.h.
   Result<RecoveryReport> Recover(ModelRegistry* registry);
 
   /// Read-only tenant view (waits for the tenant's in-flight pass).

@@ -15,8 +15,9 @@
 //   * injected pass hang — the watchdog cancels it, the tenant degrades on
 //     the ordinary QoS ladder, no other tenant stalls;
 //   * transient append faults — retried with backoff, no timeline gap;
-//   * admission allocation failure — chunk rejected with an exact ledger,
-//     yet durable (WAL-before-enqueue means recovery still serves it);
+//   * admission allocation failure — chunk rejected with an exact ledger
+//     and its WAL record rolled back (WAL-then-enqueue is atomic), so the
+//     caller's retry never double-applies across a crash + Recover();
 //   * one tenant throwing out of a batched drain group — absorbed per
 //     tenant, the rest of the group drains normally.
 
@@ -615,10 +616,13 @@ TEST(ServeChaosRetryTest, TransientAppendFaultsRetryThenExhaust) {
 }
 
 // ServeFault::kAdmissionAllocFail: an enqueue allocation failure rejects
-// the chunk with an exact ledger — but the WAL record was already fsync'd,
-// so a crash-and-recover serves the chunk anyway (admission promised
-// durability the moment the record hit the log).
-TEST(ServeChaosAdmissionTest, AllocFailureKeepsLedgerExactAndChunkDurable) {
+// the chunk with an exact ledger AND rolls its WAL record back — admission
+// is atomic, so a chunk the caller was told kRejected never resurfaces at
+// recovery. The caller retries it (that is what kRejected means), and the
+// retry lands exactly once even across a crash + Recover(). Under the old
+// keep-the-record behaviour this test fails: the retry would put the chunk
+// in the WAL twice and the recovered timeline would double-apply it.
+TEST(ServeChaosAdmissionTest, AllocFailureRollsBackWalSoRetryNeverDoubles) {
   const std::string dir = ChaosDir("allocfail");
   FleetOptions options;
   options.durability.dir = dir;
@@ -641,7 +645,10 @@ TEST(ServeChaosAdmissionTest, AllocFailureKeepsLedgerExactAndChunkDurable) {
     EXPECT_EQ(*fleet.Ingest(id, Prefix(feed, kChunk)),
               IngestStatus::kRejected);
     ClearServeTestHooks();
-    for (size_t off = kChunk; off < feed.size(); off += kChunk) {
+    // The rejected record was truncated away: the log ends at an intact
+    // boundary, so the caller's retry — and the rest of the feed — appends
+    // with contiguous seqs.
+    for (size_t off = 0; off < feed.size(); off += kChunk) {
       const size_t hi = std::min(feed.size(), off + kChunk);
       ASSERT_EQ(*fleet.Ingest(
                     id, std::vector<double>(
@@ -654,10 +661,11 @@ TEST(ServeChaosAdmissionTest, AllocFailureKeepsLedgerExactAndChunkDurable) {
     EXPECT_EQ(stats.rejected, 1u);
     EXPECT_EQ(stats.submitted, stats.accepted + stats.degraded +
                                    stats.rejected);
-    // Every submitted chunk — the rejected one included — is in the WAL.
-    EXPECT_EQ(stats.wal_records, stats.submitted);
-    // Killed here, before any drain: the watermark never advanced past the
-    // dropped chunk, so recovery owes it to the caller.
+    // Exactly the *enqueued* chunks are in the WAL; the rolled-back record
+    // is not counted and not on disk.
+    EXPECT_EQ(stats.wal_records, stats.accepted + stats.degraded);
+    // Killed here, before any drain: recovery owes the caller exactly the
+    // acknowledged chunks — the rejected one only via its retry.
   }
   ModelRegistry registry;
   FleetServer recovered(options);
@@ -668,7 +676,66 @@ TEST(ServeChaosAdmissionTest, AllocFailureKeepsLedgerExactAndChunkDurable) {
   auto snap = recovered.Tenant(id);
   ASSERT_TRUE(snap.ok());
   ExpectMatchesStandalone(*snap, RunStandalone(*SharedDetector(), feed),
-                          "recovery including the alloc-failed chunk");
+                          "recovery after an alloc-failed-then-retried chunk");
+}
+
+// WalWriter invariant: a record rolled back with TruncateTo leaves the log
+// ending at an intact boundary — its seq is unclaimed, the next append
+// reuses it, and a scan sees only the kept records (no torn bytes, no
+// duplicate seq, exactly the failure modes a dirty WAL would cause).
+TEST(ServeChaosWalWriterTest, TruncateToRestoresRecordBoundaryDurably) {
+  const std::string dir = ChaosDir("walrollback");
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  const std::string path = dir + "/wal";
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {3.0, 4.0, 5.0};
+  const std::vector<double> c = {6.0};
+  auto writer = WalWriter::Open(path, /*fsync_each=*/true);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(1, a.data(), a.size()).ok());
+  const uint64_t boundary = writer->tail_offset();
+  ASSERT_TRUE(writer->Append(2, b.data(), b.size()).ok());
+  EXPECT_GT(writer->tail_offset(), boundary);
+  // Roll record 2 back (as if its enqueue failed): seq 2 is unclaimed.
+  ASSERT_TRUE(writer->TruncateTo(boundary).ok());
+  EXPECT_FALSE(writer->broken());
+  EXPECT_EQ(writer->tail_offset(), boundary);
+  EXPECT_EQ(FileSize(path), static_cast<int64_t>(boundary));
+  ASSERT_TRUE(writer->Append(2, c.data(), c.size()).ok());
+  writer->Close();
+
+  auto replay = ReadWal(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->outcome, io::RecordScanOutcome::kClean);
+  ASSERT_EQ(replay->chunks.size(), 2u);
+  EXPECT_EQ(replay->chunks[0].seq, 1u);
+  EXPECT_EQ(replay->chunks[0].points, a);
+  EXPECT_EQ(replay->chunks[1].seq, 2u);
+  EXPECT_EQ(replay->chunks[1].points, c);
+}
+
+// A manifest write failure unwinds AddTenant completely: no live tenant
+// may be left behind (the caller's natural retry would duplicate it under
+// a new id), and the id is reusable once the fault clears.
+TEST(ServeChaosAddTenantTest, ManifestWriteFailureRollsBackRegistration) {
+  const std::string dir = ChaosDir("manifestfail");
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  // A directory squatting on the manifest path makes the atomic
+  // write-temp-then-rename fail after the tenant's WAL already opened.
+  ASSERT_TRUE(EnsureDir(dir + "/manifest").ok());
+  FleetOptions options;
+  options.durability.dir = dir;
+  ModelRegistry registry;
+  FleetServer fleet(options);
+  EXPECT_FALSE(
+      fleet.AddTenantFromCheckpoint(&registry, SharedCheckpointPath()).ok());
+  EXPECT_EQ(fleet.tenant_count(), 0);
+  // Fault cleared: the retry registers one tenant under the first id.
+  TRIAD_CHECK(std::system(("rmdir " + dir + "/manifest").c_str()) == 0);
+  auto id = fleet.AddTenantFromCheckpoint(&registry, SharedCheckpointPath());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1);
+  EXPECT_EQ(fleet.tenant_count(), 1);
 }
 
 // Satellite 2 regression: one tenant throwing out of a batched drain group
