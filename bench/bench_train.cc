@@ -1,0 +1,193 @@
+// Training-loop throughput for the window-major batched execution path
+// (ARCHITECTURE.md §11). The --json mode runs the SAME training job twice —
+// TRIAD_NN_BATCHED effectively on and off — verifies the two loss
+// trajectories are bit-identical (the batched kernels preserve per-element
+// accumulation order), and emits BENCH_train.json with both timings and
+// the speedup. Sized by TRIAD_BENCH_TRAIN_{WINDOWS,LEN,EPOCHS,DEPTH,HIDDEN}
+// for archive-scale runs.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/env.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "common/trace.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "nn/ops.h"
+
+namespace triad::core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<std::vector<double>> TrainWindows(int64_t count, size_t len,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> windows;
+  windows.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<double> w(len);
+    for (size_t t = 0; t < len; ++t) {
+      w[t] = std::sin(2.0 * kPi * static_cast<double>(t) / 64.0) +
+             rng.Normal(0.0, 0.05);
+    }
+    windows.push_back(std::move(w));
+  }
+  return windows;
+}
+
+TriadConfig BenchConfig(int64_t epochs) {
+  TriadConfig config;
+  config.depth = static_cast<int>(GetEnvInt("TRIAD_BENCH_TRAIN_DEPTH", 2));
+  config.hidden_dim =
+      static_cast<int>(GetEnvInt("TRIAD_BENCH_TRAIN_HIDDEN", 16));
+  config.epochs = static_cast<int>(epochs);
+  config.batch_size = 8;
+  config.seed = 7;
+  config.validation_fraction = 0.0;
+  return config;
+}
+
+TrainStats FitOnce(const TriadConfig& config,
+                   const std::vector<std::vector<double>>& windows,
+                   bool batched) {
+  nn::ScopedBatchedExecution mode(batched);
+  Rng rng(config.seed);
+  TriadModel model(config, &rng);
+  TriadTrainer trainer(config);
+  auto stats = trainer.Fit(windows, /*period=*/64, &model, &rng);
+  TRIAD_CHECK(stats.ok());
+  return *stats;
+}
+
+// ---- google-benchmark microbenches ----
+
+// One full training epoch, batched kernels vs the legacy per-window path.
+void BM_TrainEpoch(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto windows = TrainWindows(16, 256, 11);
+  const TriadConfig config = BenchConfig(/*epochs=*/1);
+  for (auto _ : state) {
+    TrainStats stats = FitOnce(config, windows, batched);
+    benchmark::DoNotOptimize(stats.epoch_train_loss);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(windows.size()));
+  state.SetLabel(batched ? "batched" : "legacy");
+}
+BENCHMARK(BM_TrainEpoch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ---- --json mode: the batched-vs-legacy A/B record ----
+
+// Sums the durations of every retained span named `name` — the per-phase
+// breakdown each A/B leg reports (the buffer is cleared between legs).
+double SpanTotal(const char* name) {
+  double total = 0.0;
+  for (const auto& span : trace::TraceBuffer::Global().Snapshot()) {
+    if (std::string(span.name) == name) total += span.duration_seconds;
+  }
+  return total;
+}
+
+int RunJsonMode() {
+  metrics::ScopedEnable enable(true);
+  Timer wall;
+  const int64_t n_windows = GetEnvInt("TRIAD_BENCH_TRAIN_WINDOWS", 32);
+  const int64_t len = GetEnvInt("TRIAD_BENCH_TRAIN_LEN", 256);
+  const int64_t epochs = GetEnvInt("TRIAD_BENCH_TRAIN_EPOCHS", 2);
+  const auto windows =
+      TrainWindows(n_windows, static_cast<size_t>(len), 11);
+  const TriadConfig config = BenchConfig(epochs);
+
+  // Untimed warm-up trains both paths once (thread pool spin-up, page
+  // faults) so the A/B compares steady-state kernels, not first-touch.
+  FitOnce(config, windows, false);
+  FitOnce(config, windows, true);
+
+  trace::TraceBuffer::Global().Clear();
+  Timer legacy_timer;
+  const TrainStats legacy = FitOnce(config, windows, false);
+  const double legacy_seconds = legacy_timer.ElapsedSeconds();
+  const double legacy_forward = SpanTotal("trainer.forward");
+  const double legacy_backward = SpanTotal("trainer.backward");
+  const double legacy_features = SpanTotal("trainer.features");
+  const double legacy_augment = SpanTotal("trainer.augment");
+  const double legacy_step = SpanTotal("trainer.step");
+
+  trace::TraceBuffer::Global().Clear();
+  Timer batched_timer;
+  const TrainStats batched = FitOnce(config, windows, true);
+  const double batched_seconds = batched_timer.ElapsedSeconds();
+  const double batched_forward = SpanTotal("trainer.forward");
+  const double batched_backward = SpanTotal("trainer.backward");
+  const double batched_features = SpanTotal("trainer.features");
+  const double batched_augment = SpanTotal("trainer.augment");
+  const double batched_step = SpanTotal("trainer.step");
+
+  // Acceptance gate: the speedup is only reportable if the two runs did
+  // bit-identical work (ARCHITECTURE.md §11).
+  TRIAD_CHECK_EQ(legacy.epoch_train_loss.size(),
+                 batched.epoch_train_loss.size());
+  for (size_t e = 0; e < legacy.epoch_train_loss.size(); ++e) {
+    TRIAD_CHECK_MSG(legacy.epoch_train_loss[e] == batched.epoch_train_loss[e],
+                    "batched/legacy loss diverged at epoch " << e);
+  }
+
+  const double total_windows =
+      static_cast<double>(n_windows) * static_cast<double>(epochs);
+  const std::vector<std::pair<std::string, double>> extras = {
+      {"train_windows", static_cast<double>(n_windows)},
+      {"window_len", static_cast<double>(len)},
+      {"epochs", static_cast<double>(epochs)},
+      {"depth", static_cast<double>(config.depth)},
+      {"hidden_dim", static_cast<double>(config.hidden_dim)},
+      {"legacy_seconds", legacy_seconds},
+      {"batched_seconds", batched_seconds},
+      {"legacy_epoch_seconds", legacy_seconds / static_cast<double>(epochs)},
+      {"batched_epoch_seconds", batched_seconds / static_cast<double>(epochs)},
+      {"legacy_windows_per_sec", total_windows / legacy_seconds},
+      {"batched_windows_per_sec", total_windows / batched_seconds},
+      {"speedup", legacy_seconds / batched_seconds},
+      // Phase breakdown (trainer.cc trace spans; forward includes the
+      // nested features time).
+      {"legacy_forward_seconds", legacy_forward},
+      {"legacy_backward_seconds", legacy_backward},
+      {"legacy_features_seconds", legacy_features},
+      {"legacy_augment_seconds", legacy_augment},
+      {"legacy_step_seconds", legacy_step},
+      {"batched_forward_seconds", batched_forward},
+      {"batched_backward_seconds", batched_backward},
+      {"batched_features_seconds", batched_features},
+      {"batched_augment_seconds", batched_augment},
+      {"batched_step_seconds", batched_step},
+      {"final_train_loss", batched.epoch_train_loss.back()},
+      {"trajectories_bit_identical", 1.0},
+  };
+  bench::WriteBenchJson("train", wall.ElapsedSeconds(), extras);
+  return 0;
+}
+
+}  // namespace
+}  // namespace triad::core
+
+// --json mode is dispatched before benchmark::Initialize ever sees argv.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == std::string("--json")) {
+      return triad::core::RunJsonMode();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -72,6 +72,53 @@ void ConvRowAccum(const float* x, int64_t xstride, const float* w,
   }
 }
 
+void ConvTapDots(const float* x, const float* g, int64_t taps,
+                 int64_t dilation, int64_t lout, double* out) {
+  // One Dot per tap — the canonical per-tap chain the vector tier keeps in
+  // registers while sharing the g loads.
+  for (int64_t t = 0; t < taps; ++t) out[t] = Dot(x + t * dilation, g, lout);
+}
+
+void CorrRowAccum(const float* g, int64_t gstride, const float* w,
+                  int64_t wstride, int64_t cout, int64_t taps,
+                  int64_t dilation, float* drow, int64_t lout) {
+  // One axpy pass per (co, t) term. Per element this applies the terms in
+  // (co, t) order — the chain the vector tier reproduces in registers.
+  for (int64_t co = 0; co < cout; ++co) {
+    const float* grow = g + co * gstride;
+    const float* wrow = w + co * wstride;
+    for (int64_t t = 0; t < taps; ++t) {
+      const float wv = wrow[t];
+      if (wv == 0.0f) continue;
+      Axpy(wv, grow, drow + t * dilation, lout);
+    }
+  }
+}
+
+void DotPair(const float* a, const float* b0, const float* b1, int64_t n,
+             double* out2) {
+  out2[0] = Dot(a, b0, n);
+  out2[1] = Dot(a, b1, n);
+}
+
+void AddRelu(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float s = a[i] + b[i];
+    out[i] = s > 0.0f ? s : 0.0f;
+  }
+}
+
+void AddReluMask(const float* a, const float* b, const float* g, float* out,
+                 int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = (a[i] + b[i]) > 0.0f ? g[i] : 0.0f;
+  }
+}
+
+void ReluMask(const float* x, const float* g, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x[i] > 0.0f ? g[i] : 0.0f;
+}
+
 void SlidingDotUpdate(double* qt, int64_t n, double drop, const double* tail,
                       double add, const double* head) {
   for (int64_t j = n - 1; j >= 1; --j) {
@@ -278,6 +325,213 @@ TRIAD_TARGET_AVX2 void ConvRowAccum(const float* x, int64_t xstride,
   }
 }
 
+TRIAD_TARGET_AVX2 void ConvTapDots(const float* x, const float* g,
+                                   int64_t taps, int64_t dilation,
+                                   int64_t lout, double* out) {
+  // Per-tap even/odd double accumulators, exactly Dot's — the taps just
+  // march over the shared g block converted once. `taps` capped at 8 keeps
+  // the accumulator array small (the conv stacks use 3–5 taps).
+  __m256d acc_lo[8];
+  __m256d acc_hi[8];
+  for (int64_t t = 0; t < taps; ++t) {
+    acc_lo[t] = _mm256_setzero_pd();
+    acc_hi[t] = _mm256_setzero_pd();
+  }
+  int64_t i = 0;
+  for (; i + 8 <= lout; i += 8) {
+    const __m256 gv = _mm256_loadu_ps(g + i);
+    const __m256d g_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(gv));
+    const __m256d g_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(gv, 1));
+    for (int64_t t = 0; t < taps; ++t) {
+      const __m256 xv = _mm256_loadu_ps(x + t * dilation + i);
+      acc_lo[t] = _mm256_fmadd_pd(
+          _mm256_cvtps_pd(_mm256_castps256_ps128(xv)), g_lo, acc_lo[t]);
+      acc_hi[t] = _mm256_fmadd_pd(
+          _mm256_cvtps_pd(_mm256_extractf128_ps(xv, 1)), g_hi, acc_hi[t]);
+    }
+  }
+  for (int64_t t = 0; t < taps; ++t) {
+    double acc = HSum4(acc_lo[t]) + HSum4(acc_hi[t]);
+    const float* xt = x + t * dilation;
+    for (int64_t j = i; j < lout; ++j) {
+      acc += static_cast<double>(xt[j]) * static_cast<double>(g[j]);
+    }
+    out[t] = acc;
+  }
+}
+
+TRIAD_TARGET_AVX2 void CorrRowAccum(const float* g, int64_t gstride,
+                                    const float* w, int64_t wstride,
+                                    int64_t cout, int64_t taps,
+                                    int64_t dilation, float* drow,
+                                    int64_t lout) {
+  // The interior of drow — elements every tap reaches — is register-blocked
+  // across the whole cout*taps term sequence; the (taps-1)*dilation edge
+  // elements on each side get per-tap partial axpy passes. Each drow
+  // element lives in exactly one region and sees its terms in (co, t)
+  // order with separate mul/add and zero-skip, so the result is
+  // bit-identical to the scalar one-axpy-per-term reference.
+  const int64_t span = (taps - 1) * dilation;
+  const int64_t hi = span > lout ? span : lout;
+  for (int64_t co = 0; co < cout; ++co) {  // front edge: drow[0, span)
+    const float* grow = g + co * gstride;
+    const float* wrow = w + co * wstride;
+    for (int64_t t = 0; t < taps; ++t) {
+      const float wv = wrow[t];
+      if (wv == 0.0f) continue;
+      const int64_t len = std::min(lout, span - t * dilation);
+      if (len > 0) Axpy(wv, grow, drow + t * dilation, len);
+    }
+  }
+  int64_t m = span;  // interior: drow[span, lout)
+  for (; m + 32 <= lout; m += 32) {
+    float* const o = drow + m;
+    __m256 acc0 = _mm256_loadu_ps(o);
+    __m256 acc1 = _mm256_loadu_ps(o + 8);
+    __m256 acc2 = _mm256_loadu_ps(o + 16);
+    __m256 acc3 = _mm256_loadu_ps(o + 24);
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* grow = g + co * gstride + m;
+      const float* wrow = w + co * wstride;
+      for (int64_t t = 0; t < taps; ++t) {
+        const float wv = wrow[t];
+        if (wv == 0.0f) continue;
+        const __m256 wvv = _mm256_set1_ps(wv);
+        const float* gs = grow - t * dilation;
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(wvv, _mm256_loadu_ps(gs)));
+        acc1 =
+            _mm256_add_ps(acc1, _mm256_mul_ps(wvv, _mm256_loadu_ps(gs + 8)));
+        acc2 =
+            _mm256_add_ps(acc2, _mm256_mul_ps(wvv, _mm256_loadu_ps(gs + 16)));
+        acc3 =
+            _mm256_add_ps(acc3, _mm256_mul_ps(wvv, _mm256_loadu_ps(gs + 24)));
+      }
+    }
+    _mm256_storeu_ps(o, acc0);
+    _mm256_storeu_ps(o + 8, acc1);
+    _mm256_storeu_ps(o + 16, acc2);
+    _mm256_storeu_ps(o + 24, acc3);
+  }
+  for (; m + 8 <= lout; m += 8) {
+    __m256 acc = _mm256_loadu_ps(drow + m);
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* grow = g + co * gstride + m;
+      const float* wrow = w + co * wstride;
+      for (int64_t t = 0; t < taps; ++t) {
+        const float wv = wrow[t];
+        if (wv == 0.0f) continue;
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(wv),
+                               _mm256_loadu_ps(grow - t * dilation)));
+      }
+    }
+    _mm256_storeu_ps(drow + m, acc);
+  }
+  for (; m < lout; ++m) {
+    float acc = drow[m];
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* grow = g + co * gstride;
+      const float* wrow = w + co * wstride;
+      for (int64_t t = 0; t < taps; ++t) {
+        const float wv = wrow[t];
+        if (wv == 0.0f) continue;
+        acc += wv * grow[m - t * dilation];
+      }
+    }
+    drow[m] = acc;
+  }
+  for (int64_t co = 0; co < cout; ++co) {  // back edge: drow[hi, lout + span)
+    const float* grow = g + co * gstride;
+    const float* wrow = w + co * wstride;
+    for (int64_t t = 0; t < taps; ++t) {
+      const float wv = wrow[t];
+      if (wv == 0.0f) continue;
+      const int64_t lstart = hi - t * dilation;
+      if (lstart < lout) {
+        Axpy(wv, grow + lstart, drow + t * dilation + lstart, lout - lstart);
+      }
+    }
+  }
+}
+
+TRIAD_TARGET_AVX2 void DotPair(const float* a, const float* b0,
+                               const float* b1, int64_t n, double* out2) {
+  __m256d acc0_lo = _mm256_setzero_pd();
+  __m256d acc0_hi = _mm256_setzero_pd();
+  __m256d acc1_lo = _mm256_setzero_pd();
+  __m256d acc1_hi = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_loadu_ps(a + i);
+    const __m256d a_lo = _mm256_cvtps_pd(_mm256_castps256_ps128(av));
+    const __m256d a_hi = _mm256_cvtps_pd(_mm256_extractf128_ps(av, 1));
+    const __m256 b0v = _mm256_loadu_ps(b0 + i);
+    acc0_lo = _mm256_fmadd_pd(
+        a_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(b0v)), acc0_lo);
+    acc0_hi = _mm256_fmadd_pd(
+        a_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(b0v, 1)), acc0_hi);
+    const __m256 b1v = _mm256_loadu_ps(b1 + i);
+    acc1_lo = _mm256_fmadd_pd(
+        a_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(b1v)), acc1_lo);
+    acc1_hi = _mm256_fmadd_pd(
+        a_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(b1v, 1)), acc1_hi);
+  }
+  double acc0 = HSum4(acc0_lo) + HSum4(acc0_hi);
+  double acc1 = HSum4(acc1_lo) + HSum4(acc1_hi);
+  for (int64_t j = i; j < n; ++j) {
+    acc0 += static_cast<double>(a[j]) * static_cast<double>(b0[j]);
+  }
+  for (int64_t j = i; j < n; ++j) {
+    acc1 += static_cast<double>(a[j]) * static_cast<double>(b1[j]);
+  }
+  out2[0] = acc0;
+  out2[1] = acc1;
+}
+
+TRIAD_TARGET_AVX2 void AddRelu(const float* a, const float* b, float* out,
+                               int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s =
+        _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(out + i, _mm256_max_ps(s, zero));
+  }
+  for (; i < n; ++i) {
+    const float s = a[i] + b[i];
+    out[i] = s > 0.0f ? s : 0.0f;
+  }
+}
+
+TRIAD_TARGET_AVX2 void AddReluMask(const float* a, const float* b,
+                                   const float* g, float* out, int64_t n) {
+  // GT_OQ is false on NaN sums, matching the scalar `(a+b) > 0` branch; the
+  // all-ones mask passes g through bit-exactly.
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s =
+        _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 mask = _mm256_cmp_ps(s, zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(out + i, _mm256_and_ps(mask, _mm256_loadu_ps(g + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = (a[i] + b[i]) > 0.0f ? g[i] : 0.0f;
+  }
+}
+
+TRIAD_TARGET_AVX2 void ReluMask(const float* x, const float* g, float* out,
+                                int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask =
+        _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(out + i, _mm256_and_ps(mask, _mm256_loadu_ps(g + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] > 0.0f ? g[i] : 0.0f;
+}
+
 TRIAD_TARGET_AVX2 void SlidingDotUpdate(double* qt, int64_t n, double drop,
                                         const double* tail, double add,
                                         const double* head) {
@@ -359,6 +613,16 @@ struct KernelTable {
   void (*relu)(const float*, float*, int64_t);
   void (*conv_row)(const float*, int64_t, const float*, int64_t, int64_t,
                    int64_t, float*, int64_t);
+  void (*conv_tap_dots)(const float*, const float*, int64_t, int64_t, int64_t,
+                        double*);
+  void (*corr_row)(const float*, int64_t, const float*, int64_t, int64_t,
+                   int64_t, int64_t, float*, int64_t);
+  void (*dot_pair)(const float*, const float*, const float*, int64_t,
+                   double*);
+  void (*add_relu)(const float*, const float*, float*, int64_t);
+  void (*add_relu_mask)(const float*, const float*, const float*, float*,
+                        int64_t);
+  void (*relu_mask)(const float*, const float*, float*, int64_t);
   void (*sliding)(double*, int64_t, double, const double*, double,
                   const double*);
   void (*znorm)(const double*, const double*, const double*, double, double,
@@ -368,16 +632,20 @@ struct KernelTable {
 constexpr KernelTable kScalarTable = {
     scalar::Dot,  scalar::Sum,  scalar::Axpy,
     scalar::Add,  scalar::Mul,  scalar::Relu,
-    scalar::ConvRowAccum,       scalar::SlidingDotUpdate,
-    scalar::ZNormDistRow,
+    scalar::ConvRowAccum,       scalar::ConvTapDots,
+    scalar::CorrRowAccum,       scalar::DotPair,
+    scalar::AddRelu,            scalar::AddReluMask,
+    scalar::ReluMask,           scalar::SlidingDotUpdate,   scalar::ZNormDistRow,
 };
 
 #if TRIAD_SIMD_HAVE_AVX2
 constexpr KernelTable kAvx2Table = {
     avx2::Dot,  avx2::Sum,  avx2::Axpy,
     avx2::Add,  avx2::Mul,  avx2::Relu,
-    avx2::ConvRowAccum,      avx2::SlidingDotUpdate,
-    avx2::ZNormDistRow,
+    avx2::ConvRowAccum,      avx2::ConvTapDots,
+    avx2::CorrRowAccum,      avx2::DotPair,
+    avx2::AddRelu,           avx2::AddReluMask,
+    avx2::ReluMask,          avx2::SlidingDotUpdate,  avx2::ZNormDistRow,
 };
 #endif
 
@@ -466,6 +734,36 @@ void ConvRowAccum(const float* x, int64_t xstride, const float* w,
                   int64_t lout) {
   TableFor(ActiveLevel())
       .conv_row(x, xstride, w, cin, taps, dilation, orow, lout);
+}
+
+void ConvTapDots(const float* x, const float* g, int64_t taps,
+                 int64_t dilation, int64_t lout, double* out) {
+  TableFor(ActiveLevel()).conv_tap_dots(x, g, taps, dilation, lout, out);
+}
+
+void CorrRowAccum(const float* g, int64_t gstride, const float* w,
+                  int64_t wstride, int64_t cout, int64_t taps,
+                  int64_t dilation, float* drow, int64_t lout) {
+  TableFor(ActiveLevel())
+      .corr_row(g, gstride, w, wstride, cout, taps, dilation, drow, lout);
+}
+
+void DotPair(const float* a, const float* b0, const float* b1, int64_t n,
+             double* out2) {
+  TableFor(ActiveLevel()).dot_pair(a, b0, b1, n, out2);
+}
+
+void AddRelu(const float* a, const float* b, float* out, int64_t n) {
+  TableFor(ActiveLevel()).add_relu(a, b, out, n);
+}
+
+void AddReluMask(const float* a, const float* b, const float* g, float* out,
+                 int64_t n) {
+  TableFor(ActiveLevel()).add_relu_mask(a, b, g, out, n);
+}
+
+void ReluMask(const float* x, const float* g, float* out, int64_t n) {
+  TableFor(ActiveLevel()).relu_mask(x, g, out, n);
 }
 
 void SlidingDotUpdate(double* qt, int64_t n, double drop, const double* tail,

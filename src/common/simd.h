@@ -117,6 +117,57 @@ void ConvRowAccum(const float* x, int64_t xstride, const float* w,
                   int64_t cin, int64_t taps, int64_t dilation, float* orow,
                   int64_t lout);
 
+/// \brief All `taps` shifted dot products of one window against one
+/// gradient row — the inner kernel of the batched Conv1d weight gradient.
+///
+///   out[t] = sum_l x[l + t*dilation] * g[l],  t in [0, taps)
+///
+/// Each tap accumulates in double with exactly Dot's per-tap operation
+/// chain (same lane split, same fold, same scalar tail), so every out[t]
+/// is bit-identical to a separate Dot(x + t*dilation, g, lout) call at the
+/// same tier; the fusion just loads each g block once for all taps instead
+/// of once per tap. `taps` must be in [1, 8].
+void ConvTapDots(const float* x, const float* g, int64_t taps,
+                 int64_t dilation, int64_t lout, double* out);
+
+/// \brief Fused multi-tap *scatter* row accumulation — the inner kernel of
+/// the batched Conv1d input gradient (the adjoint of ConvRowAccum).
+///
+///   drow[l + t*dilation] += w[co*wstride + t] * g[co*gstride + l]
+///
+/// for all co in [0, cout), t in [0, taps), l in [0, lout); `drow` has
+/// lout + (taps-1)*dilation elements. Per element the (co, t) terms apply
+/// in ascending order with a separate round of each product and add (no
+/// FMA) and zero weights skipped — exactly the chain the one-axpy-per-tap
+/// formulation produces — so all tiers are bit-identical to the scalar
+/// reference. The vector tiers keep a register block of the interior of
+/// `drow` live across all cout*taps terms; the (taps-1)*dilation edge
+/// elements on each side fall back to per-tap partial passes in the same
+/// (co, t) order. `g` and `drow` must not alias.
+void CorrRowAccum(const float* g, int64_t gstride, const float* w,
+                  int64_t wstride, int64_t cout, int64_t taps,
+                  int64_t dilation, float* drow, int64_t lout);
+
+/// \brief Two dot products sharing the left operand: out2[0] = Dot(a, b0, n),
+/// out2[1] = Dot(a, b1, n), with each accumulated in Dot's exact per-column
+/// chain (bit-identical to two separate Dot calls at the same tier). The
+/// fusion halves the `a` loads — the win of the row-blocked GemmTransB.
+void DotPair(const float* a, const float* b0, const float* b1, int64_t n,
+             double* out2);
+
+/// out[i] = relu(a[i] + b[i]) with Relu's branch semantics — one pass over
+/// the operands instead of an Add pass plus a Relu pass.
+void AddRelu(const float* a, const float* b, float* out, int64_t n);
+
+/// out[i] = (a[i] + b[i]) > 0 ? g[i] : 0 — the relu gradient mask of a
+/// fused add+relu, recomputed from the saved operands in one pass.
+void AddReluMask(const float* a, const float* b, const float* g, float* out,
+                 int64_t n);
+
+/// out[i] = x[i] > 0 ? g[i] : 0 — the relu gradient mask against the saved
+/// input (NaN inputs mask to 0, matching the scalar branch).
+void ReluMask(const float* x, const float* g, float* out, int64_t n);
+
 /// \brief Z-normalized distance row shared by MASS and STOMP.
 ///
 /// Given sliding dot products `dot[j]` of a fixed query subsequence
@@ -147,6 +198,17 @@ void Relu(const float* x, float* out, int64_t n);
 void ConvRowAccum(const float* x, int64_t xstride, const float* w,
                   int64_t cin, int64_t taps, int64_t dilation, float* orow,
                   int64_t lout);
+void ConvTapDots(const float* x, const float* g, int64_t taps,
+                 int64_t dilation, int64_t lout, double* out);
+void CorrRowAccum(const float* g, int64_t gstride, const float* w,
+                  int64_t wstride, int64_t cout, int64_t taps,
+                  int64_t dilation, float* drow, int64_t lout);
+void DotPair(const float* a, const float* b0, const float* b1, int64_t n,
+             double* out2);
+void AddRelu(const float* a, const float* b, float* out, int64_t n);
+void AddReluMask(const float* a, const float* b, const float* g, float* out,
+                 int64_t n);
+void ReluMask(const float* x, const float* g, float* out, int64_t n);
 void SlidingDotUpdate(double* qt, int64_t n, double drop, const double* tail,
                       double add, const double* head);
 void ZNormDistRow(const double* dot, const double* mu, const double* sd,

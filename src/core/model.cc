@@ -71,7 +71,7 @@ Var TriadModel::Encode(Domain domain, const Var& x) const {
   const int64_t L = x.shape()[2];
   Var h = encoder->Forward(x);                      // [B, h_d, L]
   h = nn::TransposeLast2(h);                        // [B, L, h_d]
-  h = nn::Relu(head1_->Forward(h));                 // [B, L, h_d]
+  h = head1_->ForwardRelu(h);                       // [B, L, h_d]
   h = head2_->Forward(h);                           // [B, L, 1]
   return nn::Reshape(h, {B, L});                    // r in R^L per window
 }

@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 #include "common/metrics.h"
@@ -8,6 +9,7 @@
 #include "common/trace.h"
 #include "core/augmentation.h"
 #include "core/features.h"
+#include "nn/ops.h"
 #include "nn/optimizer.h"
 
 namespace triad::core {
@@ -18,38 +20,66 @@ using nn::Var;
 // Builds normalized representations of originals and augmentations for one
 // batch, returning the scalar loss Var.
 //
-// The per-domain feature extraction + encoder forward passes run as
-// independent pool tasks: forward passes only read the shared parameter
-// tensors and write their own graph nodes, each domain's computation is
-// internally serial, and the loss combines the domain slots in a fixed
-// order — so the loss (and the subsequent serial Backward()/Step(), where
-// all gradient accumulation happens) is bit-identical at every thread
-// count. Augmentation stays serial because it advances the shared RNG.
+// Threading depends on the execution mode:
+//  * Batched (default): the domains run serially and each op fans its own
+//    row loops across the whole pool (nn/kernels.h batched kernels) — this
+//    parallelizes the backward pass too, which domain-level tasks never
+//    could (Backward() is one serial graph walk).
+//  * Legacy (TRIAD_NN_BATCHED=off): the per-domain feature extraction +
+//    encoder forwards run as independent pool tasks, as before.
+// Both modes are bit-identical at every thread count: batched kernels
+// preserve per-element accumulation order, forward passes only read the
+// shared parameters, and the loss combines the domain slots in a fixed
+// order. Augmentation stays serial because it advances the shared RNG.
 Var BatchLoss(const TriadModel& model,
               const std::vector<std::vector<double>>& originals,
               int64_t period, Rng* rng) {
   std::vector<std::vector<double>> augmented = originals;
-  for (auto& w : augmented) AugmentWindow(&w, rng);
+  {
+    trace::TraceSpan span("trainer.augment");
+    for (auto& w : augmented) AugmentWindow(&w, rng);
+  }
 
   const std::vector<Domain> domains = model.EnabledDomains();
   std::vector<Var> orig_norms(domains.size());
   std::vector<Var> aug_norms(domains.size());
-  ParallelFor(0, static_cast<int64_t>(domains.size()), /*grain=*/1,
-              [&](int64_t begin, int64_t end) {
-                for (int64_t di = begin; di < end; ++di) {
-                  const Domain d = domains[static_cast<size_t>(di)];
-                  Var xo = nn::Constant(BuildDomainBatch(originals, d, period));
-                  Var xa = nn::Constant(BuildDomainBatch(augmented, d, period));
-                  orig_norms[static_cast<size_t>(di)] =
-                      model.EncodeNormalized(d, xo);
-                  aug_norms[static_cast<size_t>(di)] =
-                      model.EncodeNormalized(d, xa);
-                }
-              });
+  const auto encode_range = [&](int64_t begin, int64_t end) {
+    for (int64_t di = begin; di < end; ++di) {
+      const Domain d = domains[static_cast<size_t>(di)];
+      Var xo, xa;
+      {
+        trace::TraceSpan span("trainer.features");
+        xo = nn::Constant(BuildDomainBatch(originals, d, period));
+        xa = nn::Constant(BuildDomainBatch(augmented, d, period));
+      }
+      orig_norms[static_cast<size_t>(di)] = model.EncodeNormalized(d, xo);
+      aug_norms[static_cast<size_t>(di)] = model.EncodeNormalized(d, xa);
+    }
+  };
+  trace::TraceSpan forward_span("trainer.forward");
+  const int64_t n_domains = static_cast<int64_t>(domains.size());
+  if (nn::BatchedExecutionEnabled()) {
+    // Serial domain loop: nested ParallelFor calls would run inline inside
+    // the domain tasks, starving the batched kernels of the pool.
+    encode_range(0, n_domains);
+  } else {
+    ParallelFor(0, n_domains, /*grain=*/1, encode_range);
+  }
   return model.TotalLoss(orig_norms, aug_norms);
 }
 
 }  // namespace
+
+double EpochAverageLoss(double loss_sum, int64_t num_batches) {
+  if (num_batches == 0) return std::numeric_limits<double>::quiet_NaN();
+  return loss_sum / static_cast<double>(num_batches);
+}
+
+uint64_t ValidationSeed(uint64_t run_seed, int64_t epoch) {
+  // Golden-ratio mix keeps epoch 0 of seed s distinct from epoch s of
+  // seed 0; Rng's SplitMix64 then decorrelates the lanes.
+  return run_seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(epoch) + 1;
+}
 
 Result<TrainStats> TriadTrainer::Fit(
     const std::vector<std::vector<double>>& windows, int64_t period,
@@ -101,9 +131,14 @@ Result<TrainStats> TriadTrainer::Fit(
     rng->Shuffle(&order);
     double epoch_loss = 0.0;
     int64_t num_batches = 0;
-    for (int64_t start = 0; start + 2 <= train_count; start += batch) {
-      const int64_t count = std::min(batch, train_count - start);
-      if (count < 2) break;
+    int64_t start = 0;
+    while (start < train_count) {
+      int64_t count = std::min(batch, train_count - start);
+      // A trailing singleton cannot form a contrastive batch; fold it into
+      // this batch instead of silently never training it (the old loop
+      // dropped one shuffled window per epoch whenever
+      // train_count % batch == 1).
+      if (train_count - (start + count) == 1) ++count;
       std::vector<std::vector<double>> batch_windows;
       batch_windows.reserve(static_cast<size_t>(count));
       for (int64_t i = 0; i < count; ++i) {
@@ -112,23 +147,38 @@ Result<TrainStats> TriadTrainer::Fit(
       }
       optimizer.ZeroGrad();
       Var loss = BatchLoss(*model, batch_windows, period, rng);
-      loss.Backward();
-      optimizer.ClipGradNorm(5.0f);
-      optimizer.Step();
+      {
+        trace::TraceSpan span("trainer.backward");
+        loss.Backward();
+      }
+      {
+        trace::TraceSpan span("trainer.step");
+        optimizer.ClipGradNorm(5.0f);
+        optimizer.Step();
+      }
       epoch_loss += loss.value()[0];
       ++num_batches;
+      start += count;
     }
-    stats.epoch_train_loss.push_back(
-        num_batches == 0 ? 0.0 : epoch_loss / static_cast<double>(num_batches));
+    stats.epoch_train_loss.push_back(EpochAverageLoss(epoch_loss, num_batches));
 
     if (val_count >= 2) {
-      Var val_loss = BatchLoss(*model, val_windows, period, rng);
+      // Validation must not touch the training RNG stream: augmenting the
+      // validation windows from `rng` made the training trajectory depend
+      // on validation_fraction. A fresh epoch-seeded stream also means val
+      // loss is measured on the *same* augmentations for a given (seed,
+      // epoch) regardless of how many train batches ran before it.
+      Rng val_rng(ValidationSeed(config_.seed, epoch));
+      Var val_loss = BatchLoss(*model, val_windows, period, &val_rng);
       stats.epoch_val_loss.push_back(val_loss.value()[0]);
       val_loss_gauge->Set(stats.epoch_val_loss.back());
     }
     epochs_counter->Increment();
     batches_counter->Increment(static_cast<uint64_t>(num_batches));
-    train_loss_gauge->Set(stats.epoch_train_loss.back());
+    // A zero-batch epoch records NaN; gauges keep their last real value.
+    if (num_batches > 0) {
+      train_loss_gauge->Set(stats.epoch_train_loss.back());
+    }
     epoch_seconds_hist->Observe(epoch_span.Stop());
   }
   return stats;

@@ -18,16 +18,30 @@ struct TrainStats {
   int64_t val_windows = 0;
 };
 
+/// Mean training loss of one epoch. A zero-batch epoch returns NaN — it
+/// must be distinguishable from a genuinely perfect (0.0) loss, and
+/// callers skip gauge updates for it.
+double EpochAverageLoss(double loss_sum, int64_t num_batches);
+
+/// Seed for the per-epoch validation RNG stream: derived from the run seed
+/// and the epoch only, so validating never advances (or depends on) the
+/// training stream — changing validation_fraction cannot change the
+/// training trajectory.
+uint64_t ValidationSeed(uint64_t run_seed, int64_t epoch);
+
 /// \brief Self-supervised contrastive training loop (paper Section IV-A3):
 /// batches of normal windows paired with their segment-augmented twins,
 /// Adam, and a 10% validation tail used to monitor generalization.
 ///
-/// Threading: the three domain encoders' forward passes (feature batch
-/// construction + encoding) run as independent tasks on DefaultPool();
-/// augmentation (shared RNG), the backward pass, and optimizer steps stay
-/// serial, so loss trajectories and trained weights are bit-identical at
-/// any TRIAD_NUM_THREADS (see ARCHITECTURE.md §3; enforced by
-/// tests/parallel_test.cc).
+/// Threading: on the batched path (default, see nn/ops.h
+/// BatchedExecutionEnabled) the domains run serially and every batched
+/// kernel — forward AND backward — fans its rows across DefaultPool();
+/// with TRIAD_NN_BATCHED=off the three domain encoders' forward passes run
+/// as independent tasks instead. Augmentation (shared RNG) and optimizer
+/// steps stay serial, so loss trajectories and trained weights are
+/// bit-identical across both modes and at any TRIAD_NUM_THREADS (see
+/// ARCHITECTURE.md §3 and §11; enforced by tests/parallel_test.cc and
+/// tests/nn_batched_test.cc).
 class TriadTrainer {
  public:
   explicit TriadTrainer(const TriadConfig& config) : config_(config) {}

@@ -54,6 +54,65 @@ void Conv1dBackwardWeight(const float* g, const float* xpad, float* gw,
 void Conv1dBackwardBias(const float* g, float* gb, int64_t B, int64_t Cout,
                         int64_t Lout);
 
+// ---------------------------------------------------------------------------
+// Batched (window-major) kernels — the TRIAD_NN_BATCHED execution path.
+//
+// These reshape the whole batch into single GEMM-shaped calls and fan the
+// independent output rows across the default pool. Every kernel preserves
+// the reference kernels' per-element accumulation order exactly (same tap
+// order, same zero-weight skips, disjoint writes per row), so the batched
+// path is BIT-IDENTICAL to the serial reference at any thread count; the
+// equivalence suite in tests/nn_batched_test.cc asserts exact equality.
+// ---------------------------------------------------------------------------
+
+/// Batched Conv1d forward with *implicit* im2col:
+///   out[b,co,t] = bias[co] + sum_{ci,k} w[co,ci,k] * xpad[b,ci,t+k*dilation]
+/// `bias` may be null (zero-init). The tap gather happens inside
+/// simd::ConvRowAccum's register block — no column matrix is materialized
+/// (measured strictly slower; ARCHITECTURE.md §11). Taps accumulate in
+/// (ci, k) order — the same per-element chain as Conv1dForward — so results
+/// are bit-identical; the Cout channel slices fan across the pool.
+void Conv1dForwardBatched(const float* xpad, const float* w, const float* bias,
+                          float* out, int64_t B, int64_t Cin, int64_t Cout,
+                          int64_t K, int64_t Lpad, int64_t Lout,
+                          int64_t dilation);
+
+/// Row-parallel Conv1d input gradient: identical per-element (co, k)
+/// accumulation order as Conv1dBackwardInput (via simd::CorrRowAccum),
+/// reorganized so each (b, ci) output row is an independent pool task.
+void Conv1dBackwardInputBatched(const float* g, const float* w, float* gxpad,
+                                int64_t B, int64_t Cin, int64_t Cout,
+                                int64_t K, int64_t Lpad, int64_t Lout,
+                                int64_t dilation);
+
+/// Row-parallel Conv1d weight gradient: per-element batch order (b
+/// ascending) matches Conv1dBackwardWeight; each co slice is independent.
+void Conv1dBackwardWeightBatched(const float* g, const float* xpad, float* gw,
+                                 int64_t B, int64_t Cin, int64_t Cout,
+                                 int64_t K, int64_t Lpad, int64_t Lout,
+                                 int64_t dilation);
+
+/// Row-parallel Conv1d bias gradient (same per-element order as
+/// Conv1dBackwardBias).
+void Conv1dBackwardBiasBatched(const float* g, float* gb, int64_t B,
+                               int64_t Cout, int64_t Lout);
+
+/// C[m,n] += A[m,k] * B[k,n] with the m output rows fanned across the
+/// pool; each row runs the exact Gemm row kernel (bit-identical).
+void GemmRowsParallel(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n);
+
+/// C[m,n] += A[k,m]^T * B[k,n], reorganized row-major (each of the m
+/// output rows accumulates its k terms in ascending order — the same
+/// per-element order as GemmTransA) and fanned across the pool.
+void GemmTransARowsParallel(const float* a, const float* b, float* c,
+                            int64_t m, int64_t k, int64_t n);
+
+/// C[m,k] += A[m,n] * B[k,n]^T with the m output rows fanned across the
+/// pool (row loop identical to GemmTransB).
+void GemmTransBRowsParallel(const float* a, const float* b, float* c,
+                            int64_t m, int64_t n, int64_t k);
+
 }  // namespace triad::nn::kernels
 
 #endif  // TRIAD_NN_KERNELS_H_

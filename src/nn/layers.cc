@@ -42,6 +42,12 @@ Var Linear::Forward(const Var& x) const {
   return y;
 }
 
+Var Linear::ForwardRelu(const Var& x) const {
+  Var y = MatMul(x, weight_);
+  if (bias_.empty()) return Relu(y);
+  return AddRelu(y, bias_);
+}
+
 std::vector<Var> Linear::Parameters() const {
   std::vector<Var> out = {weight_};
   if (!bias_.empty()) out.push_back(bias_);
@@ -139,7 +145,8 @@ Var DilatedResidualBlock::Forward(const Var& x) const {
   Var y = Relu(conv1_.Forward(x));
   y = conv2_.Forward(y);
   Var skip = projection_ ? projection_->Forward(x) : x;
-  return Relu(Add(y, skip));
+  // Residual add + relu fuse into one pass on the batched path.
+  return AddRelu(y, skip);
 }
 
 std::vector<Var> DilatedResidualBlock::Parameters() const {

@@ -37,6 +37,9 @@ class Linear : public Module {
          bool with_bias = true);
 
   Var Forward(const Var& x) const;
+  /// relu(x W + b): the bias add and the relu fuse into one pass on the
+  /// batched path (bit-identical to Relu(Forward(x)) either way).
+  Var ForwardRelu(const Var& x) const;
   std::vector<Var> Parameters() const override;
 
   int64_t in_features() const { return in_features_; }

@@ -1,12 +1,44 @@
 #include "nn/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <string>
 
+#include "common/env.h"
 #include "common/simd.h"
+#include "nn/fused.h"
 #include "nn/kernels.h"
 
 namespace triad::nn {
+namespace {
+
+bool BatchedFromEnv() {
+  const std::string v = GetEnvString("TRIAD_NN_BATCHED", "on");
+  return !(v == "off" || v == "0" || v == "false" || v == "no");
+}
+
+// -1 = follow the environment; 0/1 = ScopedBatchedExecution override.
+std::atomic<int> g_batched_override{-1};
+
+}  // namespace
+
+bool BatchedExecutionEnabled() {
+  const int o = g_batched_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool env_enabled = BatchedFromEnv();
+  return env_enabled;
+}
+
+ScopedBatchedExecution::ScopedBatchedExecution(bool enabled)
+    : previous_(g_batched_override.load(std::memory_order_relaxed)) {
+  g_batched_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+ScopedBatchedExecution::~ScopedBatchedExecution() {
+  g_batched_override.store(previous_, std::memory_order_relaxed);
+}
+
 namespace {
 
 // Broadcast pattern of a binary op's right operand.
@@ -48,30 +80,34 @@ Tensor ReduceGradToShape(const Tensor& grad, const std::vector<int64_t>& b_shape
   return out;
 }
 
+// Visits f(i, b_broadcast_at_i) for i in [0, n). The suffix pattern walks
+// nested outer/inner loops (rebasing the row pointer per outer index)
+// rather than evaluating `i % inner` per element.
+template <typename F>
+void ForEachBroadcast(const Tensor& b, Bcast pattern, int64_t n, F f) {
+  const float* pb = b.data();
+  if (pattern == Bcast::kSame) {
+    for (int64_t i = 0; i < n; ++i) f(i, pb[i]);
+  } else if (pattern == Bcast::kScalar) {
+    const float c = pb[0];
+    for (int64_t i = 0; i < n; ++i) f(i, c);
+  } else {
+    const int64_t inner = b.size();
+    for (int64_t o = 0; o < n; o += inner) {
+      for (int64_t i = 0; i < inner; ++i) f(o + i, pb[i]);
+    }
+  }
+}
+
 // Builds the forward value of a binary elementwise op.
 template <typename F>
 Tensor BinaryForward(const Tensor& a, const Tensor& b, Bcast pattern, F f) {
-  Tensor out(a.shape());
-  const int64_t n = a.size();
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
-  const float* pb = b.data();
   float* po = out.data();
-  if (pattern == Bcast::kSame) {
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
-  } else if (pattern == Bcast::kScalar) {
-    const float c = pb[0];
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], c);
-  } else {
-    const int64_t inner = b.size();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i % inner]);
-  }
+  ForEachBroadcast(b, pattern, a.size(),
+                   [pa, po, f](int64_t i, float bv) { po[i] = f(pa[i], bv); });
   return out;
-}
-
-float BroadcastAt(const Tensor& b, Bcast pattern, int64_t i) {
-  if (pattern == Bcast::kScalar) return b[0];
-  if (pattern == Bcast::kSuffix) return b[i % b.size()];
-  return b[i];
 }
 
 }  // namespace
@@ -80,7 +116,7 @@ Var Constant(Tensor value) { return Var(std::move(value), false); }
 
 Var Add(const Var& a, const Var& b) {
   const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
-  Tensor out(a.value().shape());
+  Tensor out = Tensor::Uninitialized(a.value().shape());
   if (pattern == Bcast::kSame) {
     simd::Add(a.value().data(), b.value().data(), out.data(), out.size());
   } else {
@@ -116,7 +152,7 @@ Var Sub(const Var& a, const Var& b) {
 
 Var Mul(const Var& a, const Var& b) {
   const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
-  Tensor out(a.value().shape());
+  Tensor out = Tensor::Uninitialized(a.value().shape());
   if (pattern == Bcast::kSame) {
     simd::Mul(a.value().data(), b.value().data(), out.data(), out.size());
   } else {
@@ -128,14 +164,15 @@ Var Mul(const Var& a, const Var& b) {
   return Var::MakeNode(std::move(out), {an, bn}, [an, bn, pattern](Node& n) {
     const int64_t total = n.grad.size();
     if (an->requires_grad) {
-      Tensor da(an->value.shape());
-      for (int64_t i = 0; i < total; ++i) {
-        da[i] = n.grad[i] * BroadcastAt(bn->value, pattern, i);
-      }
+      Tensor da = Tensor::Uninitialized(an->value.shape());
+      const float* g = n.grad.data();
+      float* dst = da.data();
+      ForEachBroadcast(bn->value, pattern, total,
+                       [g, dst](int64_t i, float bv) { dst[i] = g[i] * bv; });
       an->AccumulateGrad(da);
     }
     if (bn->requires_grad) {
-      Tensor full(an->value.shape());
+      Tensor full = Tensor::Uninitialized(an->value.shape());
       for (int64_t i = 0; i < total; ++i) full[i] = n.grad[i] * an->value[i];
       bn->AccumulateGrad(ReduceGradToShape(full, bn->value.shape(), pattern));
     }
@@ -151,18 +188,22 @@ Var Div(const Var& a, const Var& b) {
   return Var::MakeNode(std::move(out), {an, bn}, [an, bn, pattern](Node& n) {
     const int64_t total = n.grad.size();
     if (an->requires_grad) {
-      Tensor da(an->value.shape());
-      for (int64_t i = 0; i < total; ++i) {
-        da[i] = n.grad[i] / BroadcastAt(bn->value, pattern, i);
-      }
+      Tensor da = Tensor::Uninitialized(an->value.shape());
+      const float* g = n.grad.data();
+      float* dst = da.data();
+      ForEachBroadcast(bn->value, pattern, total,
+                       [g, dst](int64_t i, float bv) { dst[i] = g[i] / bv; });
       an->AccumulateGrad(da);
     }
     if (bn->requires_grad) {
-      Tensor full(an->value.shape());
-      for (int64_t i = 0; i < total; ++i) {
-        const float y = BroadcastAt(bn->value, pattern, i);
-        full[i] = -n.grad[i] * an->value[i] / (y * y);
-      }
+      Tensor full = Tensor::Uninitialized(an->value.shape());
+      const float* g = n.grad.data();
+      const float* x = an->value.data();
+      float* dst = full.data();
+      ForEachBroadcast(bn->value, pattern, total,
+                       [g, x, dst](int64_t i, float y) {
+                         dst[i] = -g[i] * x[i] / (y * y);
+                       });
       bn->AccumulateGrad(ReduceGradToShape(full, bn->value.shape(), pattern));
     }
   });
@@ -198,7 +239,7 @@ namespace {
 // where y = fn(x).
 template <typename Fn, typename Dfn>
 Var UnaryOp(const Var& a, Fn fn, Dfn dfn) {
-  Tensor out(a.value().shape());
+  Tensor out = Tensor::Uninitialized(a.value().shape());
   const int64_t n = out.size();
   for (int64_t i = 0; i < n; ++i) out[i] = fn(a.value()[i]);
   auto an = a.node();
@@ -207,7 +248,7 @@ Var UnaryOp(const Var& a, Fn fn, Dfn dfn) {
   return Var::MakeNode(std::move(out), {an},
                        [an, dfn, saved = std::move(saved)](Node& nd) {
                          if (!an->requires_grad) return;
-                         Tensor g(an->value.shape());
+                         Tensor g = Tensor::Uninitialized(an->value.shape());
                          const int64_t m = g.size();
                          for (int64_t i = 0; i < m; ++i) {
                            g[i] = nd.grad[i] * dfn(an->value[i], saved[i]);
@@ -222,17 +263,13 @@ Var Relu(const Var& a) {
   // Dedicated path (not UnaryOp): the forward is the vectorized kernel and
   // the backward masks the incoming gradient without materializing a
   // derivative tensor per element.
-  Tensor out(a.value().shape());
+  Tensor out = Tensor::Uninitialized(a.value().shape());
   simd::Relu(a.value().data(), out.data(), out.size());
   auto an = a.node();
   return Var::MakeNode(std::move(out), {an}, [an](Node& nd) {
     if (!an->requires_grad) return;
-    Tensor g(an->value.shape());
-    const int64_t m = g.size();
-    const float* x = an->value.data();
-    const float* dy = nd.grad.data();
-    float* dst = g.data();
-    for (int64_t i = 0; i < m; ++i) dst[i] = x[i] > 0 ? dy[i] : 0.0f;
+    Tensor g = Tensor::Uninitialized(an->value.shape());
+    simd::ReluMask(an->value.data(), nd.grad.data(), g.data(), g.size());
     an->AccumulateGrad(g);
   });
 }
@@ -321,44 +358,84 @@ Var MatMul(const Var& a, const Var& b) {
   if (av.ndim() == 2 && bv.ndim() == 2) {
     const int64_t m = av.dim(0), k = av.dim(1), n = bv.dim(1);
     TRIAD_CHECK_EQ(bv.dim(0), k);
+    // Batched path: identical row kernels, fanned across the pool. The
+    // forward-time gate decision is captured so forward and backward take
+    // matching paths (they are bit-identical either way).
+    const bool batched = BatchedExecutionEnabled();
     Tensor out({m, n});
-    Gemm(av.data(), bv.data(), out.data(), m, k, n);
-    return Var::MakeNode(std::move(out), {an, bn}, [an, bn, m, k, n](Node& nd) {
-      if (an->requires_grad) {
-        Tensor da({m, k});
-        GemmTransB(nd.grad.data(), bn->value.data(), da.data(), m, n, k);
-        an->AccumulateGrad(da);
-      }
-      if (bn->requires_grad) {
-        Tensor db({k, n});
-        GemmTransA(an->value.data(), nd.grad.data(), db.data(), k, m, n);
-        bn->AccumulateGrad(db);
-      }
-    });
-  }
-
-  if (av.ndim() == 3 && bv.ndim() == 2) {
-    const int64_t bsz = av.dim(0), m = av.dim(1), k = av.dim(2), n = bv.dim(1);
-    TRIAD_CHECK_EQ(bv.dim(0), k);
-    Tensor out({bsz, m, n});
-    for (int64_t i = 0; i < bsz; ++i) {
-      Gemm(av.data() + i * m * k, bv.data(), out.data() + i * m * n, m, k, n);
+    if (batched) {
+      kernels::GemmRowsParallel(av.data(), bv.data(), out.data(), m, k, n);
+    } else {
+      Gemm(av.data(), bv.data(), out.data(), m, k, n);
     }
     return Var::MakeNode(
-        std::move(out), {an, bn}, [an, bn, bsz, m, k, n](Node& nd) {
+        std::move(out), {an, bn}, [an, bn, m, k, n, batched](Node& nd) {
           if (an->requires_grad) {
-            Tensor da({bsz, m, k});
-            for (int64_t i = 0; i < bsz; ++i) {
-              GemmTransB(nd.grad.data() + i * m * n, bn->value.data(),
-                         da.data() + i * m * k, m, n, k);
+            Tensor da({m, k});
+            if (batched) {
+              kernels::GemmTransBRowsParallel(nd.grad.data(), bn->value.data(),
+                                              da.data(), m, n, k);
+            } else {
+              GemmTransB(nd.grad.data(), bn->value.data(), da.data(), m, n, k);
             }
             an->AccumulateGrad(da);
           }
           if (bn->requires_grad) {
             Tensor db({k, n});
-            for (int64_t i = 0; i < bsz; ++i) {
-              GemmTransA(an->value.data() + i * m * k,
-                         nd.grad.data() + i * m * n, db.data(), k, m, n);
+            if (batched) {
+              kernels::GemmTransARowsParallel(an->value.data(), nd.grad.data(),
+                                              db.data(), k, m, n);
+            } else {
+              GemmTransA(an->value.data(), nd.grad.data(), db.data(), k, m, n);
+            }
+            bn->AccumulateGrad(db);
+          }
+        });
+  }
+
+  if (av.ndim() == 3 && bv.ndim() == 2) {
+    const int64_t bsz = av.dim(0), m = av.dim(1), k = av.dim(2), n = bv.dim(1);
+    TRIAD_CHECK_EQ(bv.dim(0), k);
+    // The shared right operand makes [b,m,k] x [k,n] a single flattened
+    // [b*m,k] x [k,n] product: the per-batch Gemm loop and the flattened
+    // row-parallel call execute the same per-row kernel over the same rows
+    // (and GemmTransA's p-ascending accumulation order equals the serial
+    // batch-then-row order), so both paths are bit-identical.
+    const bool batched = BatchedExecutionEnabled();
+    Tensor out({bsz, m, n});
+    if (batched) {
+      kernels::GemmRowsParallel(av.data(), bv.data(), out.data(), bsz * m, k,
+                                n);
+    } else {
+      for (int64_t i = 0; i < bsz; ++i) {
+        Gemm(av.data() + i * m * k, bv.data(), out.data() + i * m * n, m, k, n);
+      }
+    }
+    return Var::MakeNode(
+        std::move(out), {an, bn}, [an, bn, bsz, m, k, n, batched](Node& nd) {
+          if (an->requires_grad) {
+            Tensor da({bsz, m, k});
+            if (batched) {
+              kernels::GemmTransBRowsParallel(nd.grad.data(), bn->value.data(),
+                                              da.data(), bsz * m, n, k);
+            } else {
+              for (int64_t i = 0; i < bsz; ++i) {
+                GemmTransB(nd.grad.data() + i * m * n, bn->value.data(),
+                           da.data() + i * m * k, m, n, k);
+              }
+            }
+            an->AccumulateGrad(da);
+          }
+          if (bn->requires_grad) {
+            Tensor db({k, n});
+            if (batched) {
+              kernels::GemmTransARowsParallel(an->value.data(), nd.grad.data(),
+                                              db.data(), k, bsz * m, n);
+            } else {
+              for (int64_t i = 0; i < bsz; ++i) {
+                GemmTransA(an->value.data() + i * m * k,
+                           nd.grad.data() + i * m * n, db.data(), k, m, n);
+              }
             }
             bn->AccumulateGrad(db);
           }
@@ -411,7 +488,7 @@ Tensor TransposeLast2Tensor(const Tensor& t) {
   for (int i = 0; i + 2 < t.ndim(); ++i) batch *= t.dim(i);
   std::vector<int64_t> out_shape = t.shape();
   std::swap(out_shape[out_shape.size() - 2], out_shape.back());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   for (int64_t s = 0; s < batch; ++s) {
     const float* src = t.data() + s * m * n;
     float* dst = out.data() + s * m * n;
@@ -462,18 +539,37 @@ Var Conv1d(const Var& input, const Var& weight, const Var& bias,
     }
   }
 
-  Tensor out({B, Cout, Lout});
-  if (has_bias) {
-    for (int64_t b = 0; b < B; ++b) {
-      for (int64_t co = 0; co < Cout; ++co) {
-        float* orow = out.data() + (b * Cout + co) * Lout;
-        const float bv = bias.value()[co];
-        for (int64_t t = 0; t < Lout; ++t) orow[t] = bv;
+  // The gate decision is captured at forward time so both passes take
+  // matching paths; the batched kernels preserve the reference kernels'
+  // per-element accumulation order, so either choice is bit-identical.
+  const bool batched = BatchedExecutionEnabled();
+
+  // The batched kernel (and the legacy bias pre-fill) writes every output
+  // element before accumulating; only the legacy no-bias path accumulates
+  // into a zero-initialized buffer.
+  Tensor out = (batched || has_bias) ? Tensor::Uninitialized({B, Cout, Lout})
+                                     : Tensor({B, Cout, Lout});
+  if (batched) {
+    // Whole batch with implicit im2col: one fused register-blocked row
+    // accumulation per (channel, window) pair, channels fanned across the
+    // pool. No column matrix is materialized (kernels.h).
+    kernels::Conv1dForwardBatched(xpad.data(), w.data(),
+                                  has_bias ? bias.value().data() : nullptr,
+                                  out.data(), B, Cin, Cout, K, Lpad, Lout,
+                                  dilation);
+  } else {
+    if (has_bias) {
+      for (int64_t b = 0; b < B; ++b) {
+        for (int64_t co = 0; co < Cout; ++co) {
+          float* orow = out.data() + (b * Cout + co) * Lout;
+          const float bv = bias.value()[co];
+          for (int64_t t = 0; t < Lout; ++t) orow[t] = bv;
+        }
       }
     }
+    kernels::Conv1dForward(xpad.data(), w.data(), out.data(), B, Cin, Cout, K,
+                           Lpad, Lout, dilation);
   }
-  kernels::Conv1dForward(xpad.data(), w.data(), out.data(), B, Cin, Cout, K,
-                         Lpad, Lout, dilation);
 
   auto xn = input.node();
   auto wn = weight.node();
@@ -487,14 +583,20 @@ Var Conv1d(const Var& input, const Var& weight, const Var& bias,
   return Var::MakeNode(
       std::move(out), std::move(parents),
       [xn, wn, bnode, xpad = std::move(xpad), B, Cin, Cout, K, L, Lpad, Lout,
-       dilation, pad_left](Node& nd) {
+       dilation, pad_left, batched](Node& nd) {
         const Tensor& g = nd.grad;
         if (xn->requires_grad) {
           Tensor gxpad({B, Cin, Lpad});
-          kernels::Conv1dBackwardInput(g.data(), wn->value.data(),
-                                       gxpad.data(), B, Cin, Cout, K, Lpad,
-                                       Lout, dilation);
-          Tensor gx({B, Cin, L});
+          if (batched) {
+            kernels::Conv1dBackwardInputBatched(g.data(), wn->value.data(),
+                                                gxpad.data(), B, Cin, Cout, K,
+                                                Lpad, Lout, dilation);
+          } else {
+            kernels::Conv1dBackwardInput(g.data(), wn->value.data(),
+                                         gxpad.data(), B, Cin, Cout, K, Lpad,
+                                         Lout, dilation);
+          }
+          Tensor gx = Tensor::Uninitialized({B, Cin, L});
           for (int64_t b = 0; b < B; ++b) {
             for (int64_t c = 0; c < Cin; ++c) {
               const float* src = gxpad.data() + (b * Cin + c) * Lpad + pad_left;
@@ -506,13 +608,24 @@ Var Conv1d(const Var& input, const Var& weight, const Var& bias,
         }
         if (wn->requires_grad) {
           Tensor gw({Cout, Cin, K});
-          kernels::Conv1dBackwardWeight(g.data(), xpad.data(), gw.data(), B,
-                                        Cin, Cout, K, Lpad, Lout, dilation);
+          if (batched) {
+            kernels::Conv1dBackwardWeightBatched(g.data(), xpad.data(),
+                                                 gw.data(), B, Cin, Cout, K,
+                                                 Lpad, Lout, dilation);
+          } else {
+            kernels::Conv1dBackwardWeight(g.data(), xpad.data(), gw.data(), B,
+                                          Cin, Cout, K, Lpad, Lout, dilation);
+          }
           wn->AccumulateGrad(gw);
         }
         if (bnode && bnode->requires_grad) {
           Tensor gb({Cout});
-          kernels::Conv1dBackwardBias(g.data(), gb.data(), B, Cout, Lout);
+          if (batched) {
+            kernels::Conv1dBackwardBiasBatched(g.data(), gb.data(), B, Cout,
+                                               Lout);
+          } else {
+            kernels::Conv1dBackwardBias(g.data(), gb.data(), B, Cout, Lout);
+          }
           bnode->AccumulateGrad(gb);
         }
       });
@@ -611,7 +724,7 @@ Var ExpandLastDim(const Var& a, int64_t n) {
   TRIAD_CHECK_EQ(v.shape().back(), 1);
   std::vector<int64_t> out_shape = v.shape();
   out_shape.back() = n;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t rows = v.size();
   for (int64_t r = 0; r < rows; ++r) {
     float* dst = out.data() + r * n;
@@ -621,7 +734,7 @@ Var ExpandLastDim(const Var& a, int64_t n) {
   auto an = a.node();
   return Var::MakeNode(std::move(out), {an}, [an, n, rows](Node& nd) {
     if (!an->requires_grad) return;
-    Tensor g(an->value.shape());
+    Tensor g = Tensor::Uninitialized(an->value.shape());
     for (int64_t r = 0; r < rows; ++r) {
       const float* src = nd.grad.data() + r * n;
       float s = 0.0f;
@@ -650,7 +763,7 @@ Var Concat(const std::vector<Var>& parts, int axis) {
   }
   std::vector<int64_t> out_shape = first_shape;
   out_shape[static_cast<size_t>(axis)] = total_axis;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   int64_t offset = 0;
   for (size_t pi = 0; pi < parts.size(); ++pi) {
     const Tensor& v = parts[pi].value();
@@ -672,7 +785,7 @@ Var Concat(const std::vector<Var>& parts, int axis) {
         for (size_t pi = 0; pi < parents.size(); ++pi) {
           const int64_t alen = axis_lens[pi];
           if (parents[pi]->requires_grad) {
-            Tensor g(parents[pi]->value.shape());
+            Tensor g = Tensor::Uninitialized(parents[pi]->value.shape());
             for (int64_t o = 0; o < outer; ++o) {
               const float* src = nd.grad.data() + (o * total_axis + off) * inner;
               float* dst = g.data() + o * alen * inner;
@@ -691,7 +804,7 @@ Var Slice(const Var& a, int axis, int64_t start, int64_t length) {
   TRIAD_CHECK(start >= 0 && length >= 1 && start + length <= axis_len);
   std::vector<int64_t> out_shape = a.shape();
   out_shape[static_cast<size_t>(axis)] = length;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   for (int64_t o = 0; o < outer; ++o) {
     const float* src = a.value().data() + (o * axis_len + start) * inner;
     float* dst = out.data() + o * length * inner;
@@ -717,7 +830,7 @@ Var Softmax(const Var& a) {
   TRIAD_CHECK_GE(v.ndim(), 1);
   const int64_t n = v.shape().back();
   const int64_t rows = v.size() / n;
-  Tensor out(v.shape());
+  Tensor out = Tensor::Uninitialized(v.shape());
   for (int64_t r = 0; r < rows; ++r) {
     const float* src = v.data() + r * n;
     float* dst = out.data() + r * n;
@@ -736,7 +849,7 @@ Var Softmax(const Var& a) {
   return Var::MakeNode(std::move(out), {an},
                        [an, saved = std::move(saved), rows, n](Node& nd) {
                          if (!an->requires_grad) return;
-                         Tensor g(an->value.shape());
+                         Tensor g = Tensor::Uninitialized(an->value.shape());
                          for (int64_t r = 0; r < rows; ++r) {
                            const float* y = saved.data() + r * n;
                            const float* dy = nd.grad.data() + r * n;
@@ -751,7 +864,18 @@ Var Softmax(const Var& a) {
                        });
 }
 
+Var AddRelu(const Var& a, const Var& b) {
+  if (BatchedExecutionEnabled()) {
+    const Bcast pattern = ClassifyBroadcast(a.value(), b.value());
+    if (pattern == Bcast::kSame) return fused::AddReluFused(a, b);
+    if (pattern == Bcast::kSuffix) return fused::BiasAddReluFused(a, b);
+    // kScalar is not on a hot path; fall through to the composite.
+  }
+  return Relu(Add(a, b));
+}
+
 Var L2NormalizeLastDim(const Var& a, float eps) {
+  if (BatchedExecutionEnabled()) return fused::L2NormalizeFused(a, eps);
   const int axis = a.value().ndim() - 1;
   Var sq = Square(a);
   Var norm = Sqrt(AddScalar(Sum(sq, axis, /*keepdim=*/true), eps));

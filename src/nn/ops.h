@@ -18,6 +18,32 @@ namespace triad::nn {
 ///     its gradient sums over the leading dimensions.
 /// Anything else is a checked error.
 
+// ---------- batched execution gate ----------
+/// True when the window-major batched path is active: Conv1d runs as an
+/// im2col GEMM, MatMul flattens/parallelizes its row loops, and the hot
+/// elementwise chains (AddRelu, L2NormalizeLastDim) use the fused
+/// single-pass kernels from nn/fused.h. Both paths are bit-identical (see
+/// ARCHITECTURE.md §11); the gate exists so regressions can be bisected
+/// and the serial reference stays exercised in CI. Reads TRIAD_NN_BATCHED
+/// ("on" by default; "off"/"0"/"false"/"no" disable) once, cached;
+/// ScopedBatchedExecution overrides it afterwards.
+bool BatchedExecutionEnabled();
+
+/// \brief RAII override of BatchedExecutionEnabled() for tests and
+/// benches (same discipline as simd::ScopedForceLevel: overrides nest,
+/// install and remove from a single thread only).
+class ScopedBatchedExecution {
+ public:
+  explicit ScopedBatchedExecution(bool enabled);
+  ~ScopedBatchedExecution();
+
+  ScopedBatchedExecution(const ScopedBatchedExecution&) = delete;
+  ScopedBatchedExecution& operator=(const ScopedBatchedExecution&) = delete;
+
+ private:
+  int previous_;  // -1 = no override was active
+};
+
 // ---------- elementwise binary ----------
 Var Add(const Var& a, const Var& b);
 Var Sub(const Var& a, const Var& b);
@@ -85,6 +111,11 @@ Var Slice(const Var& a, int axis, int64_t start, int64_t length);
 Var Softmax(const Var& a);
 
 // ---------- composites (built from the primitives above) ----------
+/// relu(a + b) for identical shapes or a suffix-broadcast right operand.
+/// On the batched path this fuses into one pass over memory with a single
+/// autograd node (nn/fused.h); otherwise it lowers to Relu(Add(a, b)).
+/// Both spellings are bit-identical.
+Var AddRelu(const Var& a, const Var& b);
 /// Rows scaled to unit L2 norm over the last axis.
 Var L2NormalizeLastDim(const Var& a, float eps = 1e-8f);
 /// Mean of squared differences -> scalar.

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/simd.h"
+
 namespace triad::nn {
 
 int64_t ShapeSize(const std::vector<int64_t>& shape) {
@@ -18,10 +20,19 @@ Tensor::Tensor(std::vector<int64_t> shape)
       data_(static_cast<size_t>(ShapeSize(shape_)), 0.0f) {}
 
 Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
+    : shape_(std::move(shape)), data_(data.begin(), data.end()) {
   TRIAD_CHECK_MSG(ShapeSize(shape_) == static_cast<int64_t>(data_.size()),
                   "shape " << ShapeString() << " does not match data size "
                            << data_.size());
+}
+
+Tensor Tensor::Uninitialized(std::vector<int64_t> shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  // FloatBuffer's allocator makes unargumented element construction a no-op,
+  // so this sizes the buffer without the zero fill.
+  t.data_ = FloatBuffer(static_cast<size_t>(ShapeSize(t.shape_)));
+  return t;
 }
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
@@ -92,7 +103,10 @@ Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
   TRIAD_CHECK_MSG(ShapeSize(new_shape) == size(),
                   "cannot reshape " << ShapeString() << " to size "
                                     << ShapeSize(new_shape));
-  return Tensor(std::move(new_shape), data_);
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
 }
 
 void Tensor::Fill(float value) {
@@ -103,10 +117,9 @@ void Tensor::AddInPlace(const Tensor& other) {
   TRIAD_CHECK_MSG(SameShape(other), "AddInPlace shape mismatch: "
                                         << ShapeString() << " vs "
                                         << other.ShapeString());
-  const float* src = other.data();
-  float* dst = data();
-  const int64_t n = size();
-  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  // Runtime-dispatched add; every simd tier is bit-identical to the scalar
+  // loop, and aliasing out with an operand is safe for elementwise kernels.
+  simd::Add(data(), other.data(), data(), size());
 }
 
 void Tensor::ScaleInPlace(float factor) {

@@ -2,13 +2,50 @@
 #define TRIAD_NN_TENSOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
 
 namespace triad::nn {
+
+namespace detail {
+
+/// \brief std::allocator<T> whose no-argument element construction is
+/// *default*-initialization — a no-op for float — instead of
+/// value-initialization.
+///
+/// `FloatBuffer(n)` therefore allocates n floats without the zeroing memset
+/// that `std::vector<float>(n)` performs. allocator_traits picks these
+/// construct overloads up by detection; everything else (allocate,
+/// comparison, rebinding via the member template) behaves exactly like
+/// std::allocator. Only Tensor::Uninitialized relies on the no-op path, and
+/// only for buffers every element of which is overwritten before being read.
+template <typename T>
+struct NoInitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = NoInitAllocator<U>;
+  };
+  template <typename U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
+
+/// Flat row-major storage of Tensor. Identical layout and API to
+/// std::vector<float>; the custom allocator only changes how *unargumented*
+/// element construction initializes (see NoInitAllocator).
+using FloatBuffer = std::vector<float, detail::NoInitAllocator<float>>;
 
 /// \brief Dense row-major float tensor of rank 0..4.
 ///
@@ -28,6 +65,11 @@ class Tensor {
   Tensor(std::vector<int64_t> shape, std::vector<float> data);
 
   static Tensor Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+  /// \brief Tensor whose elements are *uninitialized* (the allocation is not
+  /// zero-filled). Strictly an allocation-cost optimization: use only when
+  /// every element is overwritten before being read — kernel outputs that
+  /// fill the whole buffer, not accumulation targets (those need Zeros).
+  static Tensor Uninitialized(std::vector<int64_t> shape);
   static Tensor Full(std::vector<int64_t> shape, float value);
   static Tensor Scalar(float value);
   /// i.i.d. N(0, 1) entries.
@@ -77,7 +119,7 @@ class Tensor {
 
  private:
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 /// Number of elements implied by a shape (empty shape = scalar = 1).

@@ -25,6 +25,7 @@ namespace triad {
 namespace {
 
 constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
 constexpr float kDenorm = 1e-42f;  // subnormal float
 
 // Lengths that exercise every dispatch regime: below one vector, exactly
@@ -297,6 +298,169 @@ TEST(KernelEquivalenceTest, ZNormDistRowFlatQueryMatchesScalar) {
   EXPECT_EQ(ref[7], 0.0);                // flat query x flat window
   EXPECT_TRUE(std::isinf(ref[0]));       // flat query x structured window
   EXPECT_GT(ref[0], 0.0);
+}
+
+// ---------- fused kernels: per-element chains pinned to the primitives ----
+
+// ConvTapDots' contract is per-tap bit-identity with Dot *at the same
+// tier* (the fusion only shares the g loads), plus the usual <= 4 ULP
+// envelope against the scalar reference.
+TEST(KernelEquivalenceTest, ConvTapDotsMatchesPerTapDot) {
+  Rng rng(31);
+  for (const int64_t taps : {1, 2, 3, 5, 8}) {
+    for (const int64_t dilation : {1, 2, 4}) {
+      for (const int64_t lout : {1, 7, 8, 33, 255}) {
+        const std::vector<float> g = RandomFloats(lout, &rng, true);
+        const std::vector<float> x =
+            RandomFloats(lout + (taps - 1) * dilation, &rng, true);
+        for (const simd::Level level :
+             {simd::Level::kScalar, simd::HighestSupportedLevel()}) {
+          simd::ScopedForceLevel force(level);
+          std::vector<double> fused(static_cast<size_t>(taps));
+          simd::ConvTapDots(x.data(), g.data(), taps, dilation, lout,
+                            fused.data());
+          for (int64_t t = 0; t < taps; ++t) {
+            const double want = simd::Dot(x.data() + t * dilation, g.data(),
+                                          lout);
+            ASSERT_EQ(std::bit_cast<uint64_t>(fused[static_cast<size_t>(t)]),
+                      std::bit_cast<uint64_t>(want))
+                << simd::LevelName(level) << " taps=" << taps
+                << " dilation=" << dilation << " lout=" << lout << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, CorrRowAccumBitIdenticalAcrossShapes) {
+  Rng rng(32);
+  // Includes lout < (taps-1)*dilation shapes, where the row is all edge
+  // and the vector tier's interior block is empty.
+  for (const auto& [cout, taps, dilation, lout] :
+       {std::tuple<int64_t, int64_t, int64_t, int64_t>{1, 1, 1, 5},
+        {4, 3, 1, 33},
+        {8, 3, 4, 64},
+        {5, 5, 2, 3},
+        {3, 4, 8, 7},
+        {2, 3, 2, 100}}) {
+    const int64_t span = (taps - 1) * dilation;
+    const std::vector<float> g = RandomFloats(cout * lout, &rng, true);
+    std::vector<float> w = RandomFloats(cout * taps, &rng, true);
+    w[0] = 0.0f;  // exercise the zero-weight skip
+    const std::vector<float> seed_row =
+        RandomFloats(lout + span, &rng, true);
+    std::vector<float> ref = seed_row;
+    std::vector<float> got = seed_row;
+    simd::scalar::CorrRowAccum(g.data(), lout, w.data(), taps, cout, taps,
+                               dilation, ref.data(), lout);
+    simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+    simd::CorrRowAccum(g.data(), lout, w.data(), taps, cout, taps, dilation,
+                       got.data(), lout);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(got[i]),
+                std::bit_cast<uint32_t>(ref[i]))
+          << "cout=" << cout << " taps=" << taps << " dilation=" << dilation
+          << " lout=" << lout << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, DotPairMatchesTwoDots) {
+  Rng rng(33);
+  for (int64_t n : kLengths) {
+    const std::vector<float> a = RandomFloats(n, &rng, true);
+    const std::vector<float> b0 = RandomFloats(n, &rng, true);
+    const std::vector<float> b1 = RandomFloats(n, &rng, true);
+    for (const simd::Level level :
+         {simd::Level::kScalar, simd::HighestSupportedLevel()}) {
+      simd::ScopedForceLevel force(level);
+      double pair[2];
+      simd::DotPair(a.data(), b0.data(), b1.data(), n, pair);
+      ASSERT_EQ(std::bit_cast<uint64_t>(pair[0]),
+                std::bit_cast<uint64_t>(simd::Dot(a.data(), b0.data(), n)))
+          << simd::LevelName(level) << " n=" << n;
+      ASSERT_EQ(std::bit_cast<uint64_t>(pair[1]),
+                std::bit_cast<uint64_t>(simd::Dot(a.data(), b1.data(), n)))
+          << simd::LevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, AddReluBitIdenticalIncludingEdgeValues) {
+  Rng rng(34);
+  for (int64_t n : kLengths) {
+    std::vector<float> a = RandomFloats(n, &rng, true);
+    std::vector<float> b = RandomFloats(n, &rng, true);
+    a[0] = kInf;
+    if (n > 1) b[static_cast<size_t>(n - 1)] = -b[static_cast<size_t>(n - 1)];
+    if (n > 2) {  // NaN sum: relu(inf + -inf) must be 0 in both tiers
+      a[2] = kInf;
+      b[2] = -kInf;
+    }
+    std::vector<float> ref(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+    simd::scalar::AddRelu(a.data(), b.data(), ref.data(), n);
+    simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+    simd::AddRelu(a.data(), b.data(), got.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(got[static_cast<size_t>(i)]),
+                std::bit_cast<uint32_t>(ref[static_cast<size_t>(i)]))
+          << "n=" << n << " i=" << i;
+    }
+    if (n > 2) {
+      EXPECT_EQ(ref[2], 0.0f);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, AddReluMaskBitIdenticalIncludingNaNSums) {
+  Rng rng(35);
+  for (int64_t n : kLengths) {
+    std::vector<float> a = RandomFloats(n, &rng, true);
+    std::vector<float> b = RandomFloats(n, &rng, true);
+    const std::vector<float> g = RandomFloats(n, &rng, true);
+    if (n > 2) {  // NaN sum masks the gradient to 0 in both tiers
+      a[2] = kInf;
+      b[2] = -kInf;
+    }
+    std::vector<float> ref(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+    simd::scalar::AddReluMask(a.data(), b.data(), g.data(), ref.data(), n);
+    simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+    simd::AddReluMask(a.data(), b.data(), g.data(), got.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(got[static_cast<size_t>(i)]),
+                std::bit_cast<uint32_t>(ref[static_cast<size_t>(i)]))
+          << "n=" << n << " i=" << i;
+    }
+    if (n > 2) {
+      EXPECT_EQ(ref[2], 0.0f);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ReluMaskBitIdenticalIncludingNaNAndNegZero) {
+  Rng rng(36);
+  for (int64_t n : kLengths) {
+    std::vector<float> x = RandomFloats(n, &rng, true);
+    const std::vector<float> g = RandomFloats(n, &rng, true);
+    if (n > 2) x[2] = kNaN;   // NaN input masks the gradient to 0
+    if (n > 3) x[3] = -0.0f;  // -0 is not > 0: masks to 0
+    std::vector<float> ref(static_cast<size_t>(n)), got(static_cast<size_t>(n));
+    simd::scalar::ReluMask(x.data(), g.data(), ref.data(), n);
+    simd::ScopedForceLevel force(simd::HighestSupportedLevel());
+    simd::ReluMask(x.data(), g.data(), got.data(), n);
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(std::bit_cast<uint32_t>(got[static_cast<size_t>(i)]),
+                std::bit_cast<uint32_t>(ref[static_cast<size_t>(i)]))
+          << "n=" << n << " i=" << i;
+    }
+    if (n > 2) {
+      EXPECT_EQ(ref[2], 0.0f);
+    }
+    if (n > 3) {
+      EXPECT_EQ(ref[3], 0.0f);
+    }
+  }
 }
 
 // ---------- composed kernels: conv / gemm ----------
