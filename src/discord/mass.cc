@@ -100,6 +100,19 @@ RollingStats MassContext::Stats(int64_t m) const {
   return DeriveStats(prefix_, prefix_sq_, size(), m);
 }
 
+RollingStatsF32 MassContext::StatsF32(int64_t m) const {
+  // Exact double derivation, rounded once — never accumulated in single.
+  const RollingStats stats = Stats(m);
+  RollingStatsF32 out;
+  out.mean.resize(stats.mean.size());
+  out.stddev.resize(stats.stddev.size());
+  for (size_t i = 0; i < stats.mean.size(); ++i) {
+    out.mean[i] = static_cast<float>(stats.mean[i]);
+    out.stddev[i] = static_cast<float>(stats.stddev[i]);
+  }
+  return out;
+}
+
 std::shared_ptr<const std::vector<Complex>> MassContext::SpectrumFor(
     size_t padded) const {
   metrics::Counter* hits_counter = SpectrumInstruments().hits;
@@ -122,6 +135,45 @@ std::shared_ptr<const std::vector<Complex>> MassContext::SpectrumFor(
   }
   signal::GetFftPlan(padded)->Forward(spec.get());
   spectra_[padded] = spec;
+  return spec;
+}
+
+std::shared_ptr<const std::vector<std::complex<float>>>
+MassContext::SpectrumForF32(size_t padded) const {
+  metrics::Counter* hits_counter = SpectrumInstruments().hits;
+  metrics::Counter* misses_counter = SpectrumInstruments().misses;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = spectra_f32_.find(padded);
+  if (it != spectra_f32_.end()) {
+    hits_counter->Increment();
+    return it->second;
+  }
+  misses_counter->Increment();
+  // The double forward transform is computed transiently and narrowed once;
+  // only the complex<float> spectrum is retained, so f32-only workloads pay
+  // half the spectrum-cache memory of the double tier. If the double
+  // spectrum is already cached (mixed-tier workloads) it is narrowed in
+  // place instead of recomputed.
+  std::vector<Complex> scratch;
+  const std::vector<Complex>* source = nullptr;
+  auto dit = spectra_.find(padded);
+  if (dit != spectra_.end()) {
+    source = dit->second.get();
+  } else {
+    scratch.assign(padded, Complex(0, 0));
+    for (size_t i = 0; i < series_.size(); ++i) {
+      scratch[i] = Complex(series_[i], 0);
+    }
+    signal::GetFftPlan(padded)->Forward(&scratch);
+    source = &scratch;
+  }
+  auto spec = std::make_shared<std::vector<std::complex<float>>>(padded);
+  for (size_t i = 0; i < padded; ++i) {
+    (*spec)[i] = std::complex<float>(static_cast<float>((*source)[i].real()),
+                                     static_cast<float>((*source)[i].imag()));
+  }
+  spectra_f32_[padded] = spec;
   return spec;
 }
 
@@ -169,6 +221,55 @@ void MassContext::SlidingDotsInto(const double* query, int64_t m,
   }
 }
 
+void MassContext::SlidingDotsIntoF32(const double* query, int64_t m,
+                                     float* dots) const {
+  const int64_t n = size();
+  TRIAD_CHECK(m >= 1 && m <= n);
+  const int64_t count = n - m + 1;
+
+  if (!signal::PlanCacheEnabled()) {
+    // Escape hatch: narrow the double reference convolution. The f32
+    // accuracy contract is an envelope vs the double row, not bit-identity,
+    // so the plan-off path only has to land inside the same envelope.
+    std::vector<double> reversed(static_cast<size_t>(m));
+    for (int64_t j = 0; j < m; ++j) {
+      reversed[static_cast<size_t>(j)] = query[m - 1 - j];
+    }
+    const std::vector<double> conv = signal::FftConvolve(series_, reversed);
+    for (int64_t i = 0; i < count; ++i) {
+      dots[i] = static_cast<float>(conv[static_cast<size_t>(m - 1 + i)]);
+    }
+    return;
+  }
+
+  const size_t padded = signal::NextPowerOfTwo(series_.size() +
+                                               static_cast<size_t>(m) - 1);
+  const std::shared_ptr<const signal::FftPlan> plan =
+      signal::GetFftPlan(padded);
+  const std::shared_ptr<const std::vector<std::complex<float>>> series_spec =
+      SpectrumForF32(padded);
+
+  // Query-side transform stays double (it is O(padded log padded) either
+  // way and dominates nothing); the series spectrum is the f32 one, widened
+  // at multiply time with the same operand order as the double path.
+  thread_local std::vector<Complex> fb;
+  fb.assign(padded, Complex(0, 0));
+  for (int64_t j = 0; j < m; ++j) {
+    fb[static_cast<size_t>(j)] = Complex(query[m - 1 - j], 0);
+  }
+  plan->Forward(&fb);
+  for (size_t i = 0; i < padded; ++i) {
+    const Complex widened(static_cast<double>((*series_spec)[i].real()),
+                          static_cast<double>((*series_spec)[i].imag()));
+    fb[i] = widened * fb[i];
+  }
+  plan->InverseUnnormalized(&fb);
+  const double inv = 1.0 / static_cast<double>(padded);
+  for (int64_t i = 0; i < count; ++i) {
+    dots[i] = static_cast<float>(fb[static_cast<size_t>(m - 1 + i)].real() * inv);
+  }
+}
+
 void MassContext::DistanceProfileInto(const double* query, int64_t m,
                                       const RollingStats& stats,
                                       double* out) const {
@@ -201,12 +302,54 @@ void MassContext::DistanceProfileInto(const double* query, int64_t m,
                      q_mean, q_std, m, out, count);
 }
 
+void MassContext::DistanceProfileIntoF32(const double* query, int64_t m,
+                                         const RollingStatsF32& stats,
+                                         double* out) const {
+  const int64_t n = size();
+  TRIAD_CHECK(m >= 1 && m <= n);
+  const int64_t count = n - m + 1;
+  TRIAD_CHECK(static_cast<int64_t>(stats.mean.size()) == count);
+  static metrics::Counter* profiles_counter =
+      metrics::Registry::Global().counter("mass.profiles");
+  profiles_counter->Increment();
+
+  // Query stats in double (two O(m) passes are noise next to the FFT),
+  // rounded once like StatsF32 — so both sides of the z-normalization see
+  // correctly-rounded single-precision stats.
+  double q_mean = 0.0;
+  for (int64_t j = 0; j < m; ++j) q_mean += query[j];
+  q_mean /= static_cast<double>(m);
+  double q_ss = 0.0;
+  for (int64_t j = 0; j < m; ++j) {
+    q_ss += (query[j] - q_mean) * (query[j] - q_mean);
+  }
+  const double q_std = std::sqrt(q_ss / static_cast<double>(m));
+
+  thread_local std::vector<float> dots_f32;
+  thread_local std::vector<float> row_f32;
+  dots_f32.resize(static_cast<size_t>(count));
+  row_f32.resize(static_cast<size_t>(count));
+  SlidingDotsIntoF32(query, m, dots_f32.data());
+
+  simd::ZNormDistRowF32(dots_f32.data(), stats.mean.data(),
+                        stats.stddev.data(), static_cast<float>(q_mean),
+                        static_cast<float>(q_std), m, row_f32.data(), count);
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = static_cast<double>(row_f32[static_cast<size_t>(i)]);
+  }
+}
+
 std::vector<double> MassContext::DistanceProfile(
-    const std::vector<double>& query) const {
+    const std::vector<double>& query, simd::Precision precision) const {
   const int64_t m = static_cast<int64_t>(query.size());
-  const RollingStats stats = Stats(m);
   std::vector<double> profile(static_cast<size_t>(size() - m + 1));
-  DistanceProfileInto(query.data(), m, stats, profile.data());
+  if (precision == simd::Precision::kF32) {
+    const RollingStatsF32 stats = StatsF32(m);
+    DistanceProfileIntoF32(query.data(), m, stats, profile.data());
+  } else {
+    const RollingStats stats = Stats(m);
+    DistanceProfileInto(query.data(), m, stats, profile.data());
+  }
   return profile;
 }
 

@@ -336,6 +336,13 @@ Result<int64_t> FleetServer::AddTenant(
         "AddTenant: a durable fleet needs TenantOptions::model_key so "
         "Recover can re-resolve the detector");
   }
+  // Fleet-default precision tier: a tenant that did not pin its own tier
+  // (kAuto) inherits the fleet's request; an explicit per-tenant kF64/kF32
+  // wins. StreamingTriad resolves whatever lands here exactly once at
+  // construction.
+  if (options.streaming.precision == simd::PrecisionRequest::kAuto) {
+    options.streaming.precision = options_.precision;
+  }
   auto tenant =
       std::make_shared<TenantState>(std::move(detector), options.streaming);
   tenant->model_key = options.model_key;
@@ -350,8 +357,13 @@ Result<int64_t> FleetServer::AddTenant(
       options_.max_pending_points_per_tenant > 0
           ? options_.max_pending_points_per_tenant
           : 8 * tenant->stream.buffer_length();
-  tenant->pass_hist = metrics::Registry::Global().histogram(
-      "serve.tenant." + std::to_string(id) + ".pass_seconds");
+  // Per-tenant latency series are opt-in: unconditional registration made
+  // export cardinality grow monotonically with every tenant ever added
+  // (the registry is process-global and series outlive the tenant).
+  if (options_.per_tenant_histograms) {
+    tenant->pass_hist = metrics::Registry::Global().histogram(
+        "serve.tenant." + std::to_string(id) + ".pass_seconds");
+  }
   if (durable) {
     const std::string& root = options_.durability.dir;
     TRIAD_RETURN_NOT_OK(EnsureDir(root));
@@ -404,6 +416,12 @@ Status FleetServer::RemoveTenant(int64_t id) {
     }
     tenant = std::move(it->second);
     impl_->tenants.erase(it);
+    if (tenant->pass_hist != nullptr) {
+      // Evict the tenant's series from the exporters; the instrument stays
+      // alive (detached) for any drain still holding the pointer.
+      metrics::Registry::Global().DetachHistogram(
+          "serve.tenant." + std::to_string(id) + ".pass_seconds");
+    }
     if (!options_.durability.dir.empty()) {
       // Drop the tenant from the roster; its files stay on disk (recovery
       // is manifest-driven, so they are simply never consulted again).
@@ -700,7 +718,7 @@ Result<int64_t> FleetServer::Drain() {
       // One observation of the mean per-pass latency for this slice.
       const double per_pass = elapsed / static_cast<double>(item.passes_run);
       Instruments().pass_seconds->Observe(per_pass);
-      t.pass_hist->Observe(per_pass);
+      if (t.pass_hist != nullptr) t.pass_hist->Observe(per_pass);
     }
     // Slide the QoS window by the outcomes this drain produced — failed
     // passes plus chunk-level errors — then move the rung. This is how an
@@ -857,6 +875,12 @@ Result<RecoveryReport> FleetServer::Recover(ModelRegistry* registry) {
     streaming.buffer_length = entry.buffer_length;
     streaming.hop = entry.hop;
     streaming.incremental = entry.incremental;
+    // Precision is deliberately NOT in the manifest (ARCHITECTURE.md §12):
+    // a recovered tenant re-resolves the fleet default plus environment at
+    // Recover time, so a per-tenant explicit tier does not survive a
+    // restart. Alarm timelines are unaffected either way — verdict
+    // preservation across tiers is exactly the golden-test contract.
+    streaming.precision = options_.precision;
     auto tenant = std::make_shared<TenantState>(std::move(model).value(),
                                                 streaming);
     tenant->id = entry.id;
@@ -865,8 +889,10 @@ Result<RecoveryReport> FleetServer::Recover(ModelRegistry* registry) {
         options_.max_pending_points_per_tenant > 0
             ? options_.max_pending_points_per_tenant
             : 8 * tenant->stream.buffer_length();
-    tenant->pass_hist = metrics::Registry::Global().histogram(
-        "serve.tenant." + std::to_string(entry.id) + ".pass_seconds");
+    if (options_.per_tenant_histograms) {
+      tenant->pass_hist = metrics::Registry::Global().histogram(
+          "serve.tenant." + std::to_string(entry.id) + ".pass_seconds");
+    }
 
     // Snapshot: restored when its checksum holds; otherwise recovery falls
     // back to replaying the whole WAL from an empty stream (the WAL is

@@ -114,6 +114,23 @@ struct FleetOptions {
   int64_t max_transient_retries = 3;
   /// First retry's backoff; doubles per retry, capped at 100ms.
   double retry_backoff_seconds = 0.001;
+
+  /// Fleet-wide default inference precision tier (ARCHITECTURE.md §12).
+  /// Applied at AddTenant to every tenant whose own
+  /// TenantOptions::streaming.precision is kAuto; a tenant's explicit
+  /// kF64/kF32 always wins over this default. kAuto here defers to the
+  /// process-wide TRIAD_PRECISION tier. Not persisted: recovered tenants
+  /// re-resolve against this option and the environment at Recover time.
+  simd::PrecisionRequest precision = simd::PrecisionRequest::kAuto;
+
+  /// Registers a `serve.tenant.<id>.pass_seconds` histogram per tenant,
+  /// evicted from the exporters when the tenant is removed. Off by default:
+  /// per-tenant series make export cardinality grow with the tenant count
+  /// (4096 tenants = 4096 histogram series in every ExportText /
+  /// ExportJsonMembers / bench JSON), which is a cost only debugging
+  /// sessions should opt into. The fleet-wide `serve.pass_seconds`
+  /// histogram is always maintained.
+  bool per_tenant_histograms = false;
 };
 
 /// Chooses the execution strategy for one same-shape group of ready
